@@ -1,0 +1,86 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* async vs BSP execution (paper §IV's engine choice);
+* delegate partitioning on/off (HavoqGT vertex-cut);
+* sequential MST kernel choice + Borůvka parallelism collapse (§III).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.distance_graph import build_distance_graph
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import load_dataset
+from repro.mst.boruvka import boruvka_rounds
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.prim import prim_mst
+from repro.seeds.selection import select_seeds
+from repro.shortest_paths.voronoi import compute_voronoi_cells
+
+K = 30
+
+
+@pytest.mark.parametrize("engine", ["async", "bsp"])
+def test_async_vs_bsp(benchmark, seeds_cache, engine):
+    graph = load_dataset("LVJ")
+    seeds = seeds_cache("LVJ", K)
+    solver = DistributedSteinerSolver(
+        graph, SolverConfig(n_ranks=16, bsp=(engine == "bsp"))
+    )
+    result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
+    benchmark.group = "ablation async-vs-bsp LVJ"
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["sim_time_s"] = result.sim_time()
+    benchmark.extra_info["messages"] = result.message_count()
+
+
+@pytest.mark.parametrize("delegates", ["off", "on"])
+def test_delegate_partitioning(benchmark, seeds_cache, delegates):
+    graph = load_dataset("WDC")
+    seeds = seeds_cache("WDC", K)
+    threshold = None if delegates == "off" else max(64, int(graph.avg_degree * 8))
+    solver = DistributedSteinerSolver(
+        graph, SolverConfig(n_ranks=16, delegate_threshold=threshold)
+    )
+    result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
+    benchmark.group = "ablation delegates WDC"
+    benchmark.extra_info["delegates"] = delegates
+    benchmark.extra_info["arc_imbalance"] = round(
+        solver.partition.load_imbalance(), 3
+    )
+    benchmark.extra_info["sim_time_s"] = result.sim_time()
+
+
+@pytest.fixture(scope="module")
+def distance_graph_instance():
+    graph = load_dataset("LVJ")
+    seeds = select_seeds(graph, 100, "bfs-level", seed=1)
+    vd = compute_voronoi_cells(graph, seeds)
+    dg = build_distance_graph(graph, seeds, vd.src, vd.dist)
+    si, ti = dg.seed_indices()
+    return len(seeds), si, ti, dg.dprime
+
+
+@pytest.mark.parametrize(
+    "kernel", [prim_mst, kruskal_mst, lambda *a: boruvka_rounds(*a)[0]],
+    ids=["prim", "kruskal", "boruvka"],
+)
+def test_mst_kernels_on_distance_graph(benchmark, distance_graph_instance, kernel):
+    k, si, ti, w = distance_graph_instance
+    benchmark.group = "ablation MST kernels on G'1"
+    idx = benchmark.pedantic(kernel, args=(k, si, ti, w), rounds=3, iterations=1)
+    benchmark.extra_info["n_distance_edges"] = int(si.size)
+    benchmark.extra_info["mst_weight"] = int(w[idx].sum())
+
+
+def test_boruvka_parallelism_collapse(benchmark, distance_graph_instance):
+    k, si, ti, w = distance_graph_instance
+    benchmark.group = "ablation MST kernels on G'1"
+    _, rounds = benchmark.pedantic(
+        boruvka_rounds, args=(k, si, ti, w), rounds=1, iterations=1
+    )
+    benchmark.extra_info["components_per_round"] = rounds
+    # the paper's argument: parallelism collapses geometrically
+    assert rounds == sorted(rounds, reverse=True)

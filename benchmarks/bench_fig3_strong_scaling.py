@@ -1,0 +1,43 @@
+"""Fig. 3 bench — strong scaling of the distributed solver.
+
+Wall-clock here is the *simulation's* cost (it grows slightly with rank
+count because more remote messages are simulated); the paper's metric —
+simulated parallel time per phase, and the speedup over the smallest
+scale — is attached as ``extra_info`` per run.  Expected shape: sim_time
+drops as ranks double; Voronoi Cell dominates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import load_dataset
+
+CASES = [
+    ("FRS", 4), ("FRS", 8), ("FRS", 16),
+    ("UKW", 4), ("UKW", 8), ("UKW", 16),
+    ("CLW", 8), ("CLW", 16), ("CLW", 32),
+    ("WDC", 8), ("WDC", 16), ("WDC", 32),
+]
+K = 30  # paper |S|=100 scaled
+
+
+@pytest.mark.parametrize("dataset,ranks", CASES)
+def test_strong_scaling(benchmark, seeds_cache, dataset, ranks):
+    graph = load_dataset(dataset)
+    seeds = seeds_cache(dataset, K)
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=ranks))
+
+    result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
+
+    benchmark.group = f"fig3 {dataset} |S|=30"
+    benchmark.extra_info["ranks"] = ranks
+    benchmark.extra_info["sim_time_s"] = result.sim_time()
+    benchmark.extra_info["voronoi_sim_time_s"] = result.phase_time("Voronoi Cell")
+    benchmark.extra_info["messages"] = result.message_count()
+    # shape assertion: Voronoi dominates (paper: "majority of the runtime")
+    assert result.phase_time("Voronoi Cell") == max(
+        p.sim_time for p in result.phases
+    )

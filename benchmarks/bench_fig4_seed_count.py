@@ -1,0 +1,37 @@
+"""Fig. 4 bench — runtime vs seed-vertex count at fixed ranks.
+
+Expected shape: the async phases' simulated time is roughly flat (or
+*drops* at the largest seed count — denser sources converge faster),
+while the collective/MST phases grow with C(|S|, 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import load_dataset
+
+DATASETS = ["PTN", "LVJ", "UKW", "WDC"]
+SEED_COUNTS = [10, 30, 100, 300]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("k", SEED_COUNTS)
+def test_seed_count_sweep(benchmark, seeds_cache, dataset, k):
+    graph = load_dataset(dataset)
+    if k * 3 > graph.n_vertices:
+        pytest.skip("stand-in too small for this seed count")
+    seeds = seeds_cache(dataset, k)
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=16))
+
+    result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
+
+    benchmark.group = f"fig4 {dataset}"
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["sim_time_s"] = result.sim_time()
+    benchmark.extra_info["collective_sim_time_s"] = result.phase_time(
+        "Global Min Dist. Edge"
+    ) + result.phase_time("Global Edge Pruning")
+    benchmark.extra_info["n_tree_edges"] = result.n_edges

@@ -1,0 +1,51 @@
+"""Fig. 5 bench — FIFO vs priority queue runtime.
+
+Expected shape: priority-queue sim_time <= FIFO sim_time on every
+dataset, with the gap concentrated in the Voronoi Cell phase; output
+trees identical (asserted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import load_dataset
+
+DATASETS = ["LVJ", "FRS", "UKW"]
+K = 30  # paper |S|=100 scaled
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("discipline", ["fifo", "priority"])
+def test_queue_discipline(benchmark, seeds_cache, dataset, discipline):
+    graph = load_dataset(dataset)
+    seeds = seeds_cache(dataset, K)
+    solver = DistributedSteinerSolver(
+        graph, SolverConfig(n_ranks=16, discipline=discipline)
+    )
+
+    result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
+
+    benchmark.group = f"fig5 {dataset}"
+    benchmark.extra_info["discipline"] = discipline
+    benchmark.extra_info["sim_time_s"] = result.sim_time()
+    benchmark.extra_info["voronoi_sim_time_s"] = result.phase_time("Voronoi Cell")
+    benchmark.extra_info["messages"] = result.message_count()
+
+
+def test_priority_beats_fifo_end_to_end(seeds_cache):
+    """Direct shape assertion for the whole Fig. 5 claim."""
+    for dataset in DATASETS:
+        graph = load_dataset(dataset)
+        seeds = seeds_cache(dataset, K)
+        fifo = DistributedSteinerSolver(
+            graph, SolverConfig(n_ranks=16, discipline="fifo")
+        ).solve(seeds)
+        prio = DistributedSteinerSolver(
+            graph, SolverConfig(n_ranks=16, discipline="priority")
+        ).solve(seeds)
+        assert np.array_equal(fifo.edges, prio.edges)
+        assert prio.sim_time() <= fifo.sim_time()

@@ -1,0 +1,44 @@
+"""Fig. 6 bench — message counts under FIFO vs priority queues.
+
+The timed body is the Voronoi-cell phase alone (the message-dominant
+phase); ``extra_info`` carries the per-discipline message counts and the
+reduction factor — the paper's 4.9x-22.1x claim, shape-asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.voronoi_visitor import VoronoiProgram
+from repro.harness.datasets import load_dataset
+from repro.runtime.cost_model import MachineModel
+from repro.runtime.engine import AsyncEngine
+from repro.runtime.partition import block_partition
+
+DATASETS = ["LVJ", "FRS", "UKW"]
+K = 30
+
+
+def run_voronoi(graph, seeds, discipline):
+    part = block_partition(graph, 16)
+    engine = AsyncEngine(part, MachineModel(), discipline)
+    prog = VoronoiProgram(part)
+    return engine.run_phase("vc", prog, list(prog.initial_messages(seeds)))
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_message_reduction(benchmark, seeds_cache, dataset):
+    graph = load_dataset(dataset)
+    seeds = seeds_cache(dataset, K)
+
+    fifo_stats = run_voronoi(graph, seeds, "fifo")
+    prio_stats = benchmark.pedantic(
+        run_voronoi, args=(graph, seeds, "priority"), rounds=1, iterations=1
+    )
+
+    reduction = fifo_stats.n_messages / max(prio_stats.n_messages, 1)
+    benchmark.group = "fig6 message counts"
+    benchmark.extra_info["fifo_messages"] = fifo_stats.n_messages
+    benchmark.extra_info["priority_messages"] = prio_stats.n_messages
+    benchmark.extra_info["reduction"] = round(reduction, 2)
+    assert reduction >= 1.0

@@ -1,0 +1,46 @@
+"""Fig. 8 bench — cluster-wide peak memory accounting.
+
+``extra_info`` carries the Fig. 8 stacked-bar values (graph bytes vs
+application-runtime bytes).  Shape assertions: runtime state grows
+superlinearly with the seed count (the C(|S|,2) replicated buffers);
+the graph share dominates only on the larger datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import load_dataset
+
+CASES = [("LVJ", 100), ("LVJ", 300), ("CLW", 100), ("CLW", 300),
+         ("WDC", 100), ("WDC", 300)]
+
+
+@pytest.mark.parametrize("dataset,k", CASES)
+def test_memory_breakdown(benchmark, seeds_cache, dataset, k):
+    graph = load_dataset(dataset)
+    if k * 3 > graph.n_vertices:
+        pytest.skip("stand-in too small for this seed count")
+    seeds = seeds_cache(dataset, k)
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=16))
+
+    result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
+
+    mem = result.memory
+    benchmark.group = f"fig8 {dataset}"
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["graph_bytes"] = mem.graph_bytes
+    benchmark.extra_info["runtime_bytes"] = mem.runtime_bytes
+    benchmark.extra_info["total_bytes"] = mem.total_bytes
+    assert mem.total_bytes == mem.graph_bytes + mem.runtime_bytes
+
+
+def test_runtime_memory_grows_quadratically(seeds_cache):
+    graph = load_dataset("LVJ")
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=16))
+    small = solver.solve(seeds_cache("LVJ", 100)).memory
+    large = solver.solve(seeds_cache("LVJ", 300)).memory
+    # C(300,2)/C(100,2) ~ 9.06x on the replicated buffers
+    assert large.en_buffer_bytes > 8 * small.en_buffer_bytes

@@ -1,0 +1,29 @@
+"""Fig. 9 bench — Steiner trees on the MiCo stand-in for three seed
+sizes, recording tree composition (the data behind the visualisation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import load_dataset
+
+SEED_COUNTS = [10, 30, 100]
+
+
+@pytest.mark.parametrize("k", SEED_COUNTS)
+def test_mico_trees(benchmark, seeds_cache, k):
+    graph = load_dataset("MCO")
+    seeds = seeds_cache("MCO", k)
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=8))
+
+    result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
+
+    benchmark.group = "fig9 MCO"
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["tree_vertices"] = int(result.vertices().size)
+    benchmark.extra_info["steiner_vertices"] = int(result.steiner_vertices().size)
+    benchmark.extra_info["n_edges"] = result.n_edges
+    # a tree: |E| = |V| - 1, and it contains every seed
+    assert result.n_edges == result.vertices().size - 1

@@ -1,0 +1,39 @@
+"""Table I bench — APSP vs Voronoi-cell computation (single thread).
+
+Expected shape (paper Table I): APSP wall time grows ~linearly with the
+seed count while the Voronoi-cell sweep stays flat, so the APSP/VC gap
+widens by roughly the seed-count ratio.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.datasets import load_dataset
+from repro.shortest_paths.apsp import seed_pairs_apsp
+from repro.shortest_paths.voronoi import compute_voronoi_cells
+
+DATASETS = ["LVJ", "PTN"]
+SEED_COUNTS = [10, 30, 100]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("k", SEED_COUNTS)
+def test_apsp(benchmark, seeds_cache, dataset, k):
+    graph = load_dataset(dataset)
+    seeds = seeds_cache(dataset, k)
+    benchmark.group = f"table1 {dataset} |S|={k}"
+    benchmark.extra_info["kernel"] = "APSP (KMB step 1)"
+    benchmark.pedantic(seed_pairs_apsp, args=(graph, seeds), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("k", SEED_COUNTS)
+def test_voronoi_cells(benchmark, seeds_cache, dataset, k):
+    graph = load_dataset(dataset)
+    seeds = seeds_cache(dataset, k)
+    benchmark.group = f"table1 {dataset} |S|={k}"
+    benchmark.extra_info["kernel"] = "Voronoi cells (Mehlhorn/ours)"
+    benchmark.pedantic(
+        compute_voronoi_cells, args=(graph, seeds), rounds=2, iterations=1
+    )

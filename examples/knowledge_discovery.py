@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Knowledge-network exploration — the paper's motivating application.
+
+The paper's introduction: an analyst has a massive knowledge network
+and a handful of entities of interest, and wants a small subgraph
+explaining how they relate; when |S| > 2, low-weight Steiner trees are
+the right generalisation of shortest paths.  The analyst iterates:
+inspect the tree, reweight relationship classes, recompute — so the
+computation must be fast and repeatable.
+
+This example plays out that loop on a synthetic co-authorship network:
+
+1. find the tree connecting a set of "author" entities;
+2. inspect the discovered intermediary entities (Steiner vertices);
+3. penalise a relationship class (edges through the top hub) and
+   recompute — the tree reroutes;
+4. compare seed-selection regimes (close vs far entity sets).
+
+Run:  python examples/knowledge_discovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    SolverConfig,
+    assign_uniform_weights,
+    preferential_attachment_graph,
+    sequential_steiner_tree,
+)
+from repro.core.solver import DistributedSteinerSolver
+from repro.seeds import select_seeds
+
+
+def build_network(n_authors: int = 2_000):
+    """Co-authorship-style network: preferential attachment (hubs =
+    prolific authors), with edge weight = collaboration distance."""
+    topology = preferential_attachment_graph(n_authors, attach=4, seed=10)
+    return assign_uniform_weights(topology, (1, 100), seed=11)
+
+
+def describe(result, label: str) -> None:
+    steiner = result.steiner_vertices()
+    print(f"{label}:")
+    print(f"  tree edges       : {result.n_edges}")
+    print(f"  total distance   : {result.total_distance}")
+    print(f"  intermediaries   : {steiner.size} "
+          f"(e.g. {steiner[:8].tolist()})")
+
+
+def main() -> None:
+    graph = build_network()
+    print(
+        f"knowledge network: {graph.n_vertices} entities, "
+        f"{graph.n_edges} relationships, max degree {graph.max_degree}\n"
+    )
+
+    # ----- 1. entities of interest, tree connecting them ----------------
+    entities = select_seeds(graph, 12, "uniform-random", seed=3)
+    print(f"entities of interest: {entities.tolist()}\n")
+    tree = sequential_steiner_tree(graph, entities)
+    describe(tree, "initial connection tree")
+
+    # ----- 2. the analyst notices everything routes through a hub -------
+    hub = int(np.argmax(graph.degree()))
+    via_hub = int(
+        ((tree.edges[:, 0] == hub) | (tree.edges[:, 1] == hub)).sum()
+    )
+    print(f"\ntop hub is entity {hub} (degree {graph.max_degree}); "
+          f"{via_hub} tree edges touch it")
+
+    # ----- 3. penalise hub relationships and recompute -------------------
+    # (the paper: "the user adding or removing classes of edges and/or
+    #  vertices and adjusting edge distance functions")
+    new_weights = graph.weights.copy()
+    u = np.repeat(np.arange(graph.n_vertices), np.diff(graph.indptr))
+    touches_hub = (u == hub) | (graph.indices == hub)
+    new_weights[touches_hub] *= 50
+    reweighted = graph.reweighted(new_weights)
+    rerouted = sequential_steiner_tree(reweighted, entities)
+    describe(rerouted, "\nafter penalising the hub's relationships")
+    still_via_hub = int(
+        ((rerouted.edges[:, 0] == hub) | (rerouted.edges[:, 1] == hub)).sum()
+    )
+    print(f"  edges touching the hub now: {still_via_hub}")
+
+    # ----- 4. proximate vs eccentric entity sets -------------------------
+    print("\nseed-regime comparison (paper §V-E):")
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=8))
+    for strategy in ("proximate", "eccentric"):
+        seeds = select_seeds(graph, 12, strategy, seed=3)
+        res = solver.solve(seeds)
+        print(
+            f"  {strategy:<10} D(GS)={res.total_distance:>8}  "
+            f"|ES|={res.n_edges:>4}  sim_time={res.sim_time() * 1e3:.2f} ms"
+        )
+    print("\n(proximate entity sets yield far smaller trees — the "
+          "degenerate case the paper's evaluation avoids)")
+
+
+if __name__ == "__main__":
+    main()

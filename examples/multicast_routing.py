@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Multicast-tree construction in a wireless communication network.
+
+The paper cites approximate Steiner trees as the standard approach for
+building multicast trees in communication networks and wireless sensor
+networks (Sun et al.; Gong et al., MobiHoc'15).  The model: nodes are
+radios placed in the plane, edges connect nodes in radio range, edge
+weight is a transmission cost (distance-derived), the multicast group
+is the seed set, and the multicast tree is a low-cost Steiner tree.
+
+This example builds a random geometric network, constructs multicast
+trees for groups of several sizes, compares against the exact optimum
+for a small group, and measures how the tree cost amortises as the
+group grows (the multicast efficiency argument).
+
+Run:  python examples/multicast_routing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import random_geometric_graph, sequential_steiner_tree
+from repro.baselines import exact_steiner_tree, takahashi_steiner_tree
+from repro.graph.connectivity import largest_component_vertices
+from repro.graph.csr import CSRGraph
+from repro.shortest_paths.dijkstra import dijkstra
+
+
+def build_network(n_nodes: int = 600, radius: float = 0.08, seed: int = 21):
+    """Radio network: geometric topology, weight ~ squared distance
+    (transmission power) discretised to positive integers."""
+    topo = random_geometric_graph(n_nodes, radius, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    pts = rng.random((n_nodes, 2))  # same RNG stream shape as generator
+    src, dst, _ = topo.edge_array()
+    d2 = ((pts[src] - pts[dst]) ** 2).sum(axis=1)
+    weights = np.maximum(1, (d2 * 1e5).astype(np.int64))
+    edges = np.stack([src, dst], axis=1)
+    return CSRGraph.from_edges(topo.n_vertices, edges, weights)
+
+
+def main() -> None:
+    net = build_network()
+    comp = largest_component_vertices(net)
+    print(
+        f"radio network: {net.n_vertices} nodes, {net.n_edges} links, "
+        f"largest component {comp.size} nodes\n"
+    )
+    rng = np.random.default_rng(5)
+
+    # ----- multicast group sizes: cost amortisation ----------------------
+    source = int(comp[0])
+    print("group size | multicast tree cost | sum of unicast paths | saving")
+    for group_size in (2, 4, 8, 16, 32):
+        members = rng.choice(comp[1:], size=group_size - 1, replace=False)
+        group = sorted({source, *(int(m) for m in members)})
+        tree = sequential_steiner_tree(net, group)
+        # naive alternative: independent unicast shortest paths
+        dist, _ = dijkstra(net, source)
+        unicast = int(sum(dist[m] for m in group if m != source))
+        saving = 1 - tree.total_distance / max(unicast, 1)
+        print(
+            f"{group_size:>10} | {tree.total_distance:>19} | "
+            f"{unicast:>20} | {saving:6.1%}"
+        )
+
+    # ----- quality check against the optimum on a small group ------------
+    members = rng.choice(comp[1:], size=4, replace=False)
+    group = sorted({source, *(int(m) for m in members)})
+    approx = sequential_steiner_tree(net, group)
+    greedy = takahashi_steiner_tree(net, group)
+    optimal = exact_steiner_tree(net, group)
+    print(f"\n5-member group: optimal cost        = {optimal.total_distance}")
+    print(f"               Voronoi 2-approx     = {approx.total_distance} "
+          f"(ratio {approx.total_distance / optimal.total_distance:.4f})")
+    print(f"               Takahashi-Matsuyama  = {greedy.total_distance} "
+          f"(ratio {greedy.total_distance / optimal.total_distance:.4f})")
+    print("\n(both within the 2x bound; the paper measures an average "
+          "ratio of 1.0527 across its datasets)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Baseline Steiner-tree algorithms the paper compares against (§V-G).
+
+* :func:`kmb_steiner_tree` — Kou–Markowsky–Berman (paper Alg. 1), the
+  classic 2-approximation built on APSP among seeds;
+* :func:`mehlhorn_steiner_tree` — Mehlhorn's Voronoi-cell speed-up of
+  KMB, the sequential ancestor of the paper's parallel algorithm;
+* :func:`www_steiner_tree` — Wu–Widmayer–Wong, the generalised-MST
+  2-approximation;
+* :func:`takahashi_steiner_tree` — Takahashi–Matsuyama shortest-path
+  heuristic (the 2(1-1/|S|) bound from the paper's introduction);
+* :func:`exact_steiner_tree` — Dreyfus–Wagner dynamic programming, the
+  SCIP-Jack substitute used to measure approximation quality
+  (Table VII);
+* :func:`refined_reference_tree` — best-of-many 2-approximations plus
+  local refinement, the reference optimum proxy for seed sets too large
+  for exact DP.
+
+All return :class:`~repro.core.result.SteinerTreeResult` so the harness
+treats every solver uniformly.
+"""
+
+from repro.baselines.kmb import kmb_steiner_tree
+from repro.baselines.mehlhorn import mehlhorn_steiner_tree
+from repro.baselines.www import www_steiner_tree
+from repro.baselines.takahashi import takahashi_steiner_tree
+from repro.baselines.exact import exact_steiner_tree
+from repro.baselines.refine import refined_reference_tree, prune_steiner_leaves
+
+__all__ = [
+    "exact_steiner_tree",
+    "kmb_steiner_tree",
+    "mehlhorn_steiner_tree",
+    "prune_steiner_leaves",
+    "refined_reference_tree",
+    "takahashi_steiner_tree",
+    "www_steiner_tree",
+]

@@ -1,0 +1,102 @@
+"""Shared machinery for baseline Steiner-tree algorithms.
+
+Every classic construction (KMB Alg. 1 steps 3-5, Mehlhorn, WWW) ends the
+same way: take the union of shortest paths, compute an MST of the induced
+subgraph, and prune non-terminal leaves.  These helpers implement that
+tail once, on top of the library's MST kernels.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.result import SteinerTreeResult
+from repro.errors import ValidationError
+from repro.graph.csr import CSRGraph
+from repro.mst.kruskal import kruskal_mst
+
+__all__ = [
+    "prune_steiner_leaves",
+    "mst_of_vertex_set",
+    "finalize_tree",
+    "result_from_edge_rows",
+]
+
+
+def prune_steiner_leaves(
+    edges: list[tuple[int, int, int]],
+    seeds: Sequence[int],
+) -> list[tuple[int, int, int]]:
+    """Iteratively delete non-terminal leaves (KMB Alg. 1 step 5).
+
+    Removing a leaf can expose a new one, so this loops to a fixpoint.
+    """
+    seed_set = set(int(s) for s in seeds)
+    current = list(edges)
+    while True:
+        deg: dict[int, int] = {}
+        for u, v, _ in current:
+            deg[u] = deg.get(u, 0) + 1
+            deg[v] = deg.get(v, 0) + 1
+        doomed = {v for v, d in deg.items() if d == 1 and v not in seed_set}
+        if not doomed:
+            return current
+        current = [
+            (u, v, w) for u, v, w in current if u not in doomed and v not in doomed
+        ]
+
+
+def mst_of_vertex_set(
+    graph: CSRGraph,
+    vertices: Iterable[int],
+) -> list[tuple[int, int, int]]:
+    """MST (forest) of the subgraph induced on ``vertices``, as
+    ``(u, v, w)`` triples in original vertex ids."""
+    vset = np.unique(np.asarray(list(vertices), dtype=np.int64))
+    mask = np.zeros(graph.n_vertices, dtype=bool)
+    mask[vset] = True
+    eu, ev, ew = graph.edge_array()
+    keep = mask[eu] & mask[ev]
+    eu, ev, ew = eu[keep], ev[keep], ew[keep]
+    # relabel into 0..len(vset)-1 for the MST kernel
+    new_id = np.zeros(graph.n_vertices, dtype=np.int64)
+    new_id[vset] = np.arange(vset.size)
+    idx = kruskal_mst(vset.size, new_id[eu], new_id[ev], ew)
+    return [(int(eu[i]), int(ev[i]), int(ew[i])) for i in idx]
+
+
+def finalize_tree(
+    graph: CSRGraph,
+    seeds: Sequence[int],
+    vertices: Iterable[int],
+    *,
+    t0: float,
+) -> SteinerTreeResult:
+    """KMB steps 3-5: MST of the induced subgraph, prune non-seed
+    leaves, package as a result."""
+    tree = mst_of_vertex_set(graph, vertices)
+    tree = prune_steiner_leaves(tree, seeds)
+    return result_from_edge_rows(seeds, tree, t0=t0)
+
+
+def result_from_edge_rows(
+    seeds: Sequence[int],
+    rows: list[tuple[int, int, int]],
+    *,
+    t0: float,
+) -> SteinerTreeResult:
+    """Package ``(u, v, w)`` rows into a :class:`SteinerTreeResult`."""
+    norm = sorted((min(u, v), max(u, v), w) for u, v, w in rows)
+    if len({(u, v) for u, v, _ in norm}) != len(norm):
+        raise ValidationError("duplicate edge in constructed tree")
+    edges = np.asarray(norm, dtype=np.int64).reshape(-1, 3)
+    total = int(edges[:, 2].sum()) if edges.size else 0
+    return SteinerTreeResult(
+        seeds=np.asarray(sorted(int(s) for s in seeds), dtype=np.int64),
+        edges=edges,
+        total_distance=total,
+        wall_time_s=time.perf_counter() - t0,
+    )

@@ -1,0 +1,153 @@
+"""Exact Steiner minimal trees — the SCIP-Jack substitute.
+
+Dreyfus–Wagner dynamic programming with the Erickson–Monma–Veinott
+(EMV) improvement: for every terminal subset ``T`` (as a bitmask over
+``S \\ {root}``) and every vertex ``v``, ``dp[T][v]`` is the minimal
+weight of a tree spanning ``T ∪ {v}``.  The recurrence alternates
+
+* **merge**: ``dp[T][v] = min over proper submasks T' of
+  dp[T'][v] + dp[T \\ T'][v]``, and
+* **grow** (EMV): one Dijkstra pass relaxes ``dp[T]`` over the graph
+  (``dp[T][v] <= dp[T][u] + d(u, v)``),
+
+finishing at ``dp[S \\ {root}][root]`` — the true optimum ``Dmin(G)``.
+Complexity ``O(3^k · |V| + 2^k · (|E| + |V| log |V|))``: exact answers
+are practical for ``|S| <= ~12`` on the graph sizes the quality tables
+use, which covers every Table VII cell that SCIP-Jack's role requires
+(larger seed sets fall back to
+:func:`repro.baselines.refine.refined_reference_tree`, clearly labelled
+in the harness output).
+
+Unlike a plain optimum-weight oracle, this implementation reconstructs
+the optimal tree itself (via merge/grow backtracking), so tests can
+validate it structurally too.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines._common import prune_steiner_leaves, result_from_edge_rows
+from repro.core.result import SteinerTreeResult
+from repro.errors import DisconnectedSeedsError, SeedError
+from repro.graph.csr import CSRGraph
+from repro.seeds.selection import validate_seed_set
+from repro.shortest_paths.dijkstra import INF
+
+__all__ = ["exact_steiner_tree", "MAX_EXACT_SEEDS"]
+
+#: DP is exponential in the seed count; refuse beyond this (callers use
+#: the refined reference instead).
+MAX_EXACT_SEEDS = 14
+
+
+def exact_steiner_tree(graph: CSRGraph, seeds: Sequence[int]) -> SteinerTreeResult:
+    """Compute the exact Steiner minimal tree (Dreyfus–Wagner/EMV).
+
+    Raises
+    ------
+    SeedError
+        If ``|S| > MAX_EXACT_SEEDS`` (exponential blow-up guard).
+    DisconnectedSeedsError
+        If the seeds are not mutually reachable.
+    """
+    t0 = time.perf_counter()
+    seeds_arr = validate_seed_set(graph, seeds)
+    k = seeds_arr.size
+    if k > MAX_EXACT_SEEDS:
+        raise SeedError(
+            f"exact solver limited to {MAX_EXACT_SEEDS} seeds (got {k}); "
+            "use refined_reference_tree for larger sets"
+        )
+    if k == 1:
+        return result_from_edge_rows(seeds_arr, [], t0=t0)
+
+    n = graph.n_vertices
+    root = int(seeds_arr[-1])
+    others = [int(s) for s in seeds_arr[:-1]]  # bit i <-> others[i]
+    kk = len(others)
+    full = (1 << kk) - 1
+
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+
+    # dp[mask] : float64[n]; int64 weights fit exactly in float64 for the
+    # graph sizes involved (< 2^53), and float INF simplifies relaxation
+    dp = np.full((full + 1, n), np.inf)
+    # backtracking: merge_choice[mask][v] = submask merged at v (0 = none);
+    # grow_pred[mask][v] = predecessor vertex in the grow pass (-1 = none)
+    merge_choice = np.zeros((full + 1, n), dtype=np.int64)
+    grow_pred = np.full((full + 1, n), -1, dtype=np.int64)
+
+    for i, s in enumerate(others):
+        dp[1 << i][s] = 0.0
+
+    def grow(mask: int) -> None:
+        """EMV Dijkstra relaxation of dp[mask] over the whole graph."""
+        row = dp[mask]
+        preds = grow_pred[mask]
+        heap = [(row[v], v) for v in np.nonzero(np.isfinite(row))[0]]
+        heapq.heapify(heap)
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d != row[u]:
+                continue
+            for i in range(indptr[u], indptr[u + 1]):
+                v = int(indices[i])
+                nd = d + weights[i]
+                if nd < row[v]:
+                    row[v] = nd
+                    preds[v] = u
+                    # a grow step supersedes any earlier merge at v
+                    merge_choice[mask][v] = 0
+                    heapq.heappush(heap, (nd, v))
+
+    for mask in range(1, full + 1):
+        if mask & (mask - 1):  # not a singleton: merge submask pairs
+            row = dp[mask]
+            sub = (mask - 1) & mask
+            while sub > mask ^ sub:  # enumerate each {sub, mask^sub} once
+                cand = dp[sub] + dp[mask ^ sub]
+                better = cand < row
+                if better.any():
+                    row[better] = cand[better]
+                    merge_choice[mask][better] = sub
+                    grow_pred[mask][better] = -1
+                sub = (sub - 1) & mask
+        grow(mask)
+
+    best = dp[full][root]
+    if not np.isfinite(best):
+        raise DisconnectedSeedsError(others)
+
+    # ---- reconstruct the optimal tree ---------------------------------- #
+    edge_rows: set[tuple[int, int, int]] = set()
+    stack: list[tuple[int, int]] = [(full, root)]
+    guard = 4 * (full + 1) * max(n, 1)
+    while stack:
+        guard -= 1
+        if guard < 0:  # pragma: no cover - defensive
+            raise RuntimeError("exact backtracking failed to terminate")
+        mask, v = stack.pop()
+        p = int(grow_pred[mask][v])
+        if p >= 0:
+            w = int(dp[mask][v] - dp[mask][p])
+            edge_rows.add((min(p, v), max(p, v), w))
+            stack.append((mask, p))
+            continue
+        sub = int(merge_choice[mask][v])
+        if sub:
+            stack.append((sub, v))
+            stack.append((mask ^ sub, v))
+        # else: singleton base case dp[{i}][s_i] = 0 — nothing to emit
+
+    rows = prune_steiner_leaves(sorted(edge_rows), seeds_arr)
+    result = result_from_edge_rows(seeds_arr, rows, t0=t0)
+    # the reconstructed tree must realise the DP optimum exactly
+    assert result.total_distance == int(best), (
+        f"backtracked weight {result.total_distance} != DP optimum {int(best)}"
+    )
+    return result

@@ -1,0 +1,165 @@
+"""Result objects for Steiner-tree computations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.engine import PhaseStats
+from repro.runtime.memory import MemoryReport
+from repro.shortest_paths.voronoi import VoronoiDiagram
+
+__all__ = ["SteinerTreeResult", "PHASE_NAMES"]
+
+#: The six phases of Alg. 3, in order, matching the paper's chart legends.
+PHASE_NAMES = (
+    "Voronoi Cell",
+    "Local Min Dist. Edge",
+    "Global Min Dist. Edge",
+    "MST",
+    "Global Edge Pruning",
+    "Steiner Tree Edge",
+)
+
+
+@dataclass
+class SteinerTreeResult:
+    """A computed Steiner tree plus the measurements the paper reports.
+
+    Attributes
+    ----------
+    seeds:
+        The terminal set ``S`` (sorted vertex ids).
+    edges:
+        ``int64[k, 3]`` rows ``(u, v, w)`` with ``u < v`` — the tree edge
+        set ``ES`` with distances ``dS`` (Table IV counts ``k``).
+    total_distance:
+        ``D(GS) = sum of edge weights`` — the quality metric of
+        Tables V–VII.
+    phases:
+        Per-phase :class:`~repro.runtime.engine.PhaseStats` in
+        :data:`PHASE_NAMES` order (distributed solver only; empty for the
+        sequential reference).
+    wall_time_s:
+        Host wall-clock spent computing (the *honest* Python runtime; the
+        simulated parallel time lives in ``phases``/:meth:`sim_time`).
+    memory:
+        Cluster-wide memory estimate (distributed solver only).
+    diagram:
+        The Voronoi diagram, when requested via
+        ``SolverConfig.collect_diagram`` (or always, for the sequential
+        reference — it is a by-product there).
+    """
+
+    seeds: np.ndarray
+    edges: np.ndarray
+    total_distance: int
+    phases: list[PhaseStats] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    memory: Optional[MemoryReport] = None
+    diagram: Optional[VoronoiDiagram] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_edges(self) -> int:
+        """``|ES|`` — the Table IV metric."""
+        return int(self.edges.shape[0])
+
+    def vertices(self) -> np.ndarray:
+        """``VS``: every vertex incident to a tree edge plus all seeds
+        (a single seed with no edges is still a valid 1-vertex tree)."""
+        if self.edges.size == 0:
+            return np.asarray(self.seeds, dtype=np.int64)
+        return np.unique(
+            np.concatenate([self.edges[:, 0], self.edges[:, 1], self.seeds])
+        ).astype(np.int64)
+
+    def steiner_vertices(self) -> np.ndarray:
+        """``S' = VS \\ S`` — non-terminal tree vertices."""
+        return np.setdiff1d(self.vertices(), self.seeds)
+
+    def sim_time(self) -> float:
+        """End-to-end simulated parallel time (sum of phase makespans)."""
+        return float(sum(p.sim_time for p in self.phases))
+
+    def phase_time(self, name: str) -> float:
+        """Simulated time of one named phase."""
+        for p in self.phases:
+            if p.name == name:
+                return p.sim_time
+        raise KeyError(name)
+
+    def message_count(self) -> int:
+        """Total messages over all phases (Fig. 6 sums the async ones)."""
+        return int(sum(p.n_messages for p in self.phases))
+
+    def to_networkx(self):
+        """Tree as a :class:`networkx.Graph` (weights under ``weight``)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(int(s) for s in self.seeds)
+        for u, v, w in self.edges:
+            g.add_edge(int(u), int(v), weight=int(w))
+        return g
+
+    def path_between(self, a: int, b: int) -> list[int]:
+        """The unique tree path between two tree vertices.
+
+        The analyst-facing query the paper's introduction motivates:
+        once the tree connecting the seed set exists, "how are these two
+        entities related *through* it?" is a path lookup.  Runs a BFS
+        over the tree's adjacency (trees have unique paths).
+
+        Raises ``KeyError`` if either vertex is not in the tree, or
+        ``ValueError`` if they are in different components (cannot
+        happen for a valid result, kept as a guard).
+        """
+        verts = set(int(v) for v in self.vertices())
+        if int(a) not in verts or int(b) not in verts:
+            missing = [v for v in (int(a), int(b)) if v not in verts]
+            raise KeyError(f"vertex/vertices not in tree: {missing}")
+        if a == b:
+            return [int(a)]
+        adj: dict[int, list[int]] = {}
+        for u, v, _ in self.edges:
+            adj.setdefault(int(u), []).append(int(v))
+            adj.setdefault(int(v), []).append(int(u))
+        # BFS from a to b
+        parent: dict[int, int] = {int(a): -1}
+        frontier = [int(a)]
+        while frontier and int(b) not in parent:
+            nxt: list[int] = []
+            for u in frontier:
+                for v in adj.get(u, ()):
+                    if v not in parent:
+                        parent[v] = u
+                        nxt.append(v)
+            frontier = nxt
+        if int(b) not in parent:
+            raise ValueError(f"no tree path between {a} and {b}")
+        path = [int(b)]
+        while path[-1] != int(a):
+            path.append(parent[path[-1]])
+        path.reverse()
+        return path
+
+    def path_distance(self, a: int, b: int) -> int:
+        """Total distance along the unique tree path ``a .. b``."""
+        path = self.path_between(a, b)
+        lookup = {
+            (int(u), int(v)): int(w) for u, v, w in self.edges
+        }
+        total = 0
+        for u, v in zip(path, path[1:]):
+            total += lookup[(min(u, v), max(u, v))]
+        return total
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"SteinerTree(|S|={len(self.seeds)}, |ES|={self.n_edges}, "
+            f"D(GS)={self.total_distance}, sim_time={self.sim_time():.4f}s)"
+        )

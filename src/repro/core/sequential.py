@@ -1,0 +1,115 @@
+"""Shared-memory reference implementation of the parallel algorithm
+(paper Algorithm 2).
+
+This is the fast path for library users who just want a tree: one
+multi-source Dijkstra (the exact fixpoint the asynchronous distributed
+kernel converges to), a vectorised cross-cell-edge scan, a sequential
+Prim MST, and predecessor walks.  The distributed solver produces the
+**identical** tree (same edges, same total distance) because both paths
+share the canonical-predecessor rule, the distance-graph construction and
+the tree assembly — this equality is asserted by the integration tests
+and is the library's primary correctness anchor.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.distance_graph import build_distance_graph
+from repro.core.result import SteinerTreeResult
+from repro.core.tree_edge import walk_tree_edges
+from repro.errors import DisconnectedSeedsError
+from repro.mst.prim import prim_mst
+from repro.mst.union_find import UnionFind
+from repro.seeds.selection import validate_seed_set
+from repro.shortest_paths.voronoi import (
+    canonicalize_predecessors,
+    compute_voronoi_cells,
+)
+
+__all__ = ["sequential_steiner_tree"]
+
+
+def sequential_steiner_tree(
+    graph,
+    seeds: Sequence[int],
+    *,
+    backend: str = "heap",
+) -> SteinerTreeResult:
+    """2-approximate Steiner minimal tree, shared-memory reference.
+
+    Guarantees ``D(GS)/Dmin <= 2 (1 - 1/l)`` (Mehlhorn's bound via KMB).
+
+    Parameters
+    ----------
+    backend:
+        Voronoi-cell kernel: ``"heap"`` (pure Python reference, default)
+        or ``"scipy"`` (compiled multi-source Dijkstra, several times
+        faster on large graphs, bit-identical output — see
+        :mod:`repro.shortest_paths.scipy_backend`).
+
+    Raises
+    ------
+    DisconnectedSeedsError
+        If the seeds are not mutually reachable.
+    """
+    t0 = time.perf_counter()
+    seeds_arr = validate_seed_set(graph, seeds)
+    k = seeds_arr.size
+
+    # Step 1: Voronoi cells (src, pred, dist per vertex)
+    if backend == "scipy":
+        from repro.shortest_paths.scipy_backend import compute_voronoi_cells_scipy
+
+        vd = compute_voronoi_cells_scipy(graph, seeds_arr)
+    elif backend == "heap":
+        vd = compute_voronoi_cells(graph, seeds_arr)
+        vd.pred = canonicalize_predecessors(graph, vd.src, vd.dist)
+    else:
+        raise ValueError(f"unknown backend {backend!r}; use 'heap' or 'scipy'")
+
+    # Step 2: distance graph G'1 with bridging edges
+    dg = build_distance_graph(graph, seeds_arr, vd.src, vd.dist)
+
+    # Step 3: sequential MST G'2 of G'1
+    si, ti = dg.seed_indices()
+    mst_idx = prim_mst(k, si, ti, dg.dprime)
+    if mst_idx.size != k - 1:
+        uf = UnionFind(k)
+        for e in mst_idx:
+            uf.union(int(si[e]), int(ti[e]))
+        root = uf.find(0)
+        unreached = [int(seeds_arr[i]) for i in range(k) if uf.find(i) != root]
+        raise DisconnectedSeedsError(unreached)
+
+    # Steps 4-5: prune non-MST cross edges, walk predecessors
+    active = np.zeros(dg.n_edges, dtype=bool)
+    active[mst_idx] = True
+    endpoints = np.concatenate([dg.u[active], dg.v[active]])
+    path_edges = walk_tree_edges(vd.src, vd.pred, vd.dist, endpoints)
+
+    # Step 6: assemble GS
+    cross_w = dg.dprime[active] - vd.dist[dg.u[active]] - vd.dist[dg.v[active]]
+    edge_rows = {
+        (int(min(u, v)), int(max(u, v))): int(w)
+        for u, v, w in zip(dg.u[active], dg.v[active], cross_w)
+    }
+    for u, v, w in path_edges:
+        edge_rows[(u, v)] = w
+    edges = np.asarray(
+        [(u, v, w) for (u, v), w in sorted(edge_rows.items())],
+        dtype=np.int64,
+    ).reshape(-1, 3)
+    total = int(edges[:, 2].sum()) if edges.size else 0
+
+    return SteinerTreeResult(
+        seeds=seeds_arr,
+        edges=edges,
+        total_distance=total,
+        phases=[],
+        wall_time_s=time.perf_counter() - t0,
+        diagram=vd,
+    )

@@ -1,0 +1,108 @@
+"""Steiner-tree edge identification — the paper's Algorithm 6.
+
+After pruning, each surviving ("active") cross-cell edge ``(u, v)`` seeds
+two predecessor walks: from ``u`` back to ``src(u)`` and from ``v`` back
+to ``src(v)``.  Every hop contributes one tree edge
+``(pred(vj), vj)``.  The walks run as an asynchronous vertex-centric
+traversal; a *visited* guard stops a walk as soon as it merges into a path
+that has already been collected, which is what keeps the message count of
+this phase "orders of magnitude smaller" than the graph (paper Table IV /
+Fig. 6).
+
+Edge weights are recovered arithmetically: on a tight shortest-path hop,
+``d(pred(v), v) = dist(v) - dist(pred(v))`` exactly (integer weights), so
+no adjacency lookup is needed — mirroring the distributed setting where
+``v``'s rank knows both distances but would otherwise have to search its
+CSR row.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.runtime.partition import PartitionedGraph
+
+__all__ = ["TreeEdgeProgram", "walk_tree_edges"]
+
+
+class TreeEdgeProgram:
+    """Alg. 6 as an engine program.
+
+    ``collected`` marks vertices whose hop to their predecessor has been
+    emitted; the resulting ``(u, v, w)`` triples accumulate in
+    :attr:`edges`.
+    """
+
+    __slots__ = ("part", "src", "pred", "dist", "collected", "edges")
+
+    def __init__(
+        self,
+        partition: PartitionedGraph,
+        src: np.ndarray,
+        pred: np.ndarray,
+        dist: np.ndarray,
+    ) -> None:
+        self.part = partition
+        self.src = src
+        self.pred = pred
+        self.dist = dist
+        self.collected = np.zeros(partition.graph.n_vertices, dtype=bool)
+        self.edges: list[tuple[int, int, int]] = []
+
+    def initial_messages(self, endpoints: np.ndarray):
+        """One visitor per active cross-cell edge endpoint (Alg. 6
+        lines 5-6)."""
+        for v in endpoints:
+            yield (int(v), (int(v),))
+
+    def priority(self, payload: Tuple) -> float:
+        """Tree-edge walks carry no distance ordering; constant priority
+        makes priority and FIFO disciplines equivalent here."""
+        return 0.0
+
+    def visit(
+        self, vertex: int, payload: Tuple, emit: Callable[[int, Tuple], None]
+    ) -> None:
+        """One predecessor hop (Alg. 6 visit): record the edge to
+        ``pred(vertex)`` and continue the walk unless done."""
+        if self.src[vertex] == vertex:  # reached the cell's seed
+            return
+        if self.collected[vertex]:  # another walk already passed through
+            return
+        self.collected[vertex] = True
+        p = int(self.pred[vertex])
+        w = int(self.dist[vertex] - self.dist[p])
+        self.edges.append((min(p, vertex), max(p, vertex), w))
+        if p != self.src[vertex]:
+            emit(p, (p,))
+
+    def visit_rank(self, rank: int, payload: Tuple, emit) -> None:
+        """Unused: tree-edge walks are vertex-addressed only."""
+        raise AssertionError("tree-edge walks never address ranks")
+
+
+def walk_tree_edges(
+    src: np.ndarray,
+    pred: np.ndarray,
+    dist: np.ndarray,
+    endpoints: np.ndarray,
+) -> list[tuple[int, int, int]]:
+    """Sequential equivalent of :class:`TreeEdgeProgram` (used by the
+    shared-memory reference path; identical output by construction)."""
+    n = src.size
+    collected = np.zeros(n, dtype=bool)
+    edges: list[tuple[int, int, int]] = []
+    stack = [int(v) for v in endpoints]
+    while stack:
+        v = stack.pop()
+        if src[v] == v or collected[v]:
+            continue
+        collected[v] = True
+        p = int(pred[v])
+        w = int(dist[v] - dist[p])
+        edges.append((min(p, v), max(p, v), w))
+        if p != src[v]:
+            stack.append(p)
+    return edges

@@ -1,0 +1,129 @@
+"""Distributed Voronoi-cell computation — the paper's Algorithm 4.
+
+A :class:`~repro.runtime.engine.VertexProgram` implementing the
+asynchronous Bellman–Ford-style relaxation:
+
+* every seed starts with ``(src, pred, dist) = (s, s, 0)`` and visits its
+  neighbours (``do_traversal(init_all)`` injects one bootstrap message per
+  seed);
+* a visitor carries ``(vp, t, r)`` — the sending vertex, its owning seed
+  and the tentative distance ``r = dist(vp) + d(vp, vj)``;
+* the visited vertex adopts the new state when it is a **lexicographic
+  improvement** ``(r, t) < (dist, src)`` — strictly closer, or equally
+  close to a smaller seed id.  The tie rule makes the converged ``(dist,
+  src)`` fixpoint unique and equal to the sequential
+  :func:`~repro.shortest_paths.voronoi.compute_voronoi_cells` result (the
+  integration tests assert bit-equality);
+* on adoption the vertex notifies its neighbours; with **delegate**
+  partitioning, a high-degree vertex instead fans out one ``expand``
+  message per rank holding a slice of its adjacency, and each slice rank
+  relays to its local neighbours — HavoqGT's vertex-cut broadcast.
+
+Message priority is the carried distance ``r``, so under the priority
+discipline the queue serves closest-first — the paper's Dijkstra-like
+acceleration (§IV).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.runtime.partition import PartitionedGraph
+from repro.shortest_paths.voronoi import INF, NO_VERTEX
+
+__all__ = ["VoronoiProgram"]
+
+
+class VoronoiProgram:
+    """Alg. 4 as an engine program.  Holds the per-vertex state arrays.
+
+    Payload formats
+    ---------------
+    vertex message  ``(vp, t, r)``:
+        relax the visited vertex with candidate ``(dist=r, src=t,
+        pred=vp)``.
+    rank message ``("expand", u, t, r)``:
+        scan the local adjacency slice of delegate ``u`` (whose state is
+        ``(t, r)``) and emit relax messages to its neighbours.
+    """
+
+    __slots__ = ("part", "src", "pred", "dist", "_indptr", "_indices", "_weights")
+
+    def __init__(self, partition: PartitionedGraph) -> None:
+        self.part = partition
+        n = partition.graph.n_vertices
+        self.src = np.full(n, NO_VERTEX, dtype=np.int64)
+        self.pred = np.full(n, NO_VERTEX, dtype=np.int64)
+        self.dist = np.full(n, INF, dtype=np.int64)
+        g = partition.graph
+        self._indptr = g.indptr
+        self._indices = g.indices
+        self._weights = g.weights
+
+    # ------------------------------------------------------------------ #
+    def initial_messages(self, seeds: np.ndarray):
+        """Bootstrap: initialise every seed and trigger its first visit.
+
+        Paper Alg. 3 INITIALIZATION sets seed state; the subsequent
+        ``do_traversal`` lets seeds push to neighbours (Alg. 4 line 5).
+        """
+        for s in seeds:
+            s = int(s)
+            self.src[s] = s
+            self.pred[s] = s
+            self.dist[s] = 0
+            yield (s, (s, s, 0))
+
+    # ------------------------------------------------------------------ #
+    def priority(self, payload: Tuple) -> float:
+        """Serve smaller tentative distances first (paper's priority
+        queue); the FIFO discipline ignores this."""
+        if payload[0] == "expand":
+            return float(payload[3])
+        return float(payload[2])
+
+    # ------------------------------------------------------------------ #
+    def visit(
+        self, vertex: int, payload: Tuple, emit: Callable[[int, Tuple], None]
+    ) -> None:
+        """Relax ``vertex`` with the carried candidate state (Alg. 4
+        lines 4-13)."""
+        vp, t, r = payload
+        # bootstrap self-visit of a seed: propagate unconditionally
+        if vp == vertex and t == vertex and r == 0:
+            self._expand(vertex, t, 0, emit)
+            return
+        # lexicographic improvement test:  (r, t) < (dist, src)
+        dv, sv = self.dist[vertex], self.src[vertex]
+        if r < dv or (r == dv and t < sv):
+            self.dist[vertex] = r
+            self.src[vertex] = t
+            self.pred[vertex] = vp
+            self._expand(vertex, t, r, emit)
+
+    def visit_rank(
+        self, rank: int, payload: Tuple, emit: Callable[[int, Tuple], None]
+    ) -> None:
+        """Delegate slice expansion on ``rank``."""
+        _, u, t, r = payload
+        indptr, indices, weights = self._indptr, self._indices, self._weights
+        arc_rank = self.part.arc_rank
+        for i in range(indptr[u], indptr[u + 1]):
+            if arc_rank[i] != rank:
+                continue
+            emit(int(indices[i]), (u, t, int(r + weights[i])))
+
+    # ------------------------------------------------------------------ #
+    def _expand(
+        self, u: int, t: int, r: int, emit: Callable[[int, Tuple], None]
+    ) -> None:
+        """Notify neighbours of ``u``'s new state (Alg. 4 lines 10-13)."""
+        if self.part.is_delegate(u):
+            for rank in self.part.slice_ranks(u):
+                emit(-int(rank) - 1, ("expand", u, t, r))
+            return
+        indptr, indices, weights = self._indptr, self._indices, self._weights
+        for i in range(indptr[u], indptr[u + 1]):
+            emit(int(indices[i]), (u, t, int(r + weights[i])))

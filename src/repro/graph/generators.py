@@ -1,0 +1,226 @@
+"""Synthetic graph generators.
+
+The paper evaluates on eight real-world graphs (Table III) ranging from
+CiteSeer (9.4K edges) to WDC12 (257B edges).  The billion-edge originals
+need terabytes of memory, so the harness substitutes *scaled-down synthetic
+stand-ins* whose degree distributions match the originals' shape:
+
+* :func:`rmat_graph` — Kronecker/R-MAT, the standard generator for skewed
+  power-law web/social graphs (WDC, ClueWeb, UK-Web, Friendster,
+  LiveJournal stand-ins).  Skew drives the load-imbalance and
+  message-queue behaviour the paper's runtime optimisations target.
+* :func:`preferential_attachment_graph` — Barabási–Albert, for the
+  citation/co-author graphs (Patent, MiCo, CiteSeer stand-ins).
+* :func:`erdos_renyi_graph`, :func:`grid_graph`,
+  :func:`random_geometric_graph` — low-skew topologies used in tests,
+  examples (VLSI-style routing on grids) and ablations.
+
+All generators return a connected-ish raw topology with unit weights;
+callers layer weights via :func:`repro.graph.weights.assign_uniform_weights`
+and restrict to the largest connected component via
+:func:`repro.graph.connectivity.largest_component_vertices` — the same
+pipeline the paper uses for seed selection (§V, "Seed Vertex Selection").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "rmat_graph",
+    "preferential_attachment_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "random_geometric_graph",
+]
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+) -> CSRGraph:
+    """Generate an R-MAT (recursive-matrix / Kronecker) graph.
+
+    Parameters
+    ----------
+    scale:
+        ``n_vertices = 2 ** scale``.
+    edge_factor:
+        Undirected edges generated per vertex (before dedupe), Graph500
+        convention.
+    a, b, c:
+        Recursive quadrant probabilities (``d = 1 - a - b - c``).  The
+        defaults are the Graph500 values, which produce the heavy-tailed
+        degree distributions typical of web crawls such as WDC12.
+    seed:
+        RNG seed; generation is deterministic.
+    """
+    if scale < 1 or scale > 28:
+        raise GraphError("rmat scale must be in [1, 28]")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise GraphError("rmat probabilities must be non-negative")
+    n = 1 << scale
+    m = n * edge_factor
+    rng = np.random.default_rng(seed)
+
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    # Vectorised bit-by-bit quadrant drawing: at each of the `scale` levels
+    # every edge independently picks one of the four quadrants.
+    p_row = a + b          # probability the row bit is 0
+    p_col_row0 = a / (a + b) if (a + b) > 0 else 0.0
+    p_col_row1 = c / (c + d) if (c + d) > 0 else 0.0
+    for _ in range(scale):
+        u = rng.random(m)
+        row_bit = (u >= p_row).astype(np.int64)
+        v = rng.random(m)
+        col_threshold = np.where(row_bit == 0, p_col_row0, p_col_row1)
+        col_bit = (v >= col_threshold).astype(np.int64)
+        src = (src << 1) | row_bit
+        dst = (dst << 1) | col_bit
+
+    # random vertex relabelling removes the artificial id-locality of RMAT
+    perm = rng.permutation(n)
+    src, dst = perm[src], perm[dst]
+    edges = np.stack([src, dst], axis=1)
+    return CSRGraph.from_edges(n, edges, np.ones(m, dtype=np.int64))
+
+
+def preferential_attachment_graph(
+    n_vertices: int,
+    attach: int = 4,
+    *,
+    seed: int = 0,
+) -> CSRGraph:
+    """Barabási–Albert preferential attachment (citation-graph stand-in).
+
+    Each new vertex attaches to ``attach`` existing vertices chosen
+    proportionally to degree, via the standard repeated-endpoint trick
+    (sampling uniformly from the running endpoint list).
+    """
+    if n_vertices < 2:
+        raise GraphError("need at least 2 vertices")
+    attach = min(attach, n_vertices - 1)
+    rng = np.random.default_rng(seed)
+    # endpoint pool: each edge contributes both endpoints
+    src_list = []
+    dst_list = []
+    pool = list(range(attach))  # initial clique-ish core seeds the pool
+    for v in range(attach, n_vertices):
+        # sample `attach` distinct targets from the pool (degree-biased)
+        targets: set[int] = set()
+        while len(targets) < attach:
+            pick = pool[rng.integers(0, len(pool))] if pool else int(
+                rng.integers(0, v)
+            )
+            if pick != v:
+                targets.add(pick)
+        for t in targets:
+            src_list.append(v)
+            dst_list.append(t)
+            pool.append(v)
+            pool.append(t)
+    edges = np.stack(
+        [np.asarray(src_list, dtype=np.int64), np.asarray(dst_list, dtype=np.int64)],
+        axis=1,
+    )
+    return CSRGraph.from_edges(
+        n_vertices, edges, np.ones(edges.shape[0], dtype=np.int64)
+    )
+
+
+def erdos_renyi_graph(n_vertices: int, n_edges: int, *, seed: int = 0) -> CSRGraph:
+    """G(n, m)-style uniform random graph (low skew baseline)."""
+    if n_vertices < 2:
+        raise GraphError("need at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    # oversample to compensate for self-loop/duplicate removal
+    m = int(n_edges * 1.25) + 8
+    src = rng.integers(0, n_vertices, size=m, dtype=np.int64)
+    dst = rng.integers(0, n_vertices, size=m, dtype=np.int64)
+    keep = src != dst
+    src, dst = src[keep][:n_edges * 2], dst[keep][:n_edges * 2]
+    edges = np.stack([src, dst], axis=1)
+    g = CSRGraph.from_edges(
+        n_vertices, edges, np.ones(edges.shape[0], dtype=np.int64)
+    )
+    return g
+
+
+def grid_graph(rows: int, cols: int, *, diagonal: bool = False) -> CSRGraph:
+    """2-D lattice: vertex ``(r, c)`` is ``r * cols + c``.
+
+    The canonical substrate for the VLSI-routing application the paper's
+    introduction motivates (rectilinear Steiner trees on placement grids).
+    With ``diagonal=True``, 8-connectivity is used instead of 4.
+    """
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be positive")
+    r, c = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    vid = (r * cols + c).astype(np.int64)
+    edges = []
+    # horizontal
+    edges.append(np.stack([vid[:, :-1].ravel(), vid[:, 1:].ravel()], axis=1))
+    # vertical
+    edges.append(np.stack([vid[:-1, :].ravel(), vid[1:, :].ravel()], axis=1))
+    if diagonal:
+        edges.append(np.stack([vid[:-1, :-1].ravel(), vid[1:, 1:].ravel()], axis=1))
+        edges.append(np.stack([vid[1:, :-1].ravel(), vid[:-1, 1:].ravel()], axis=1))
+    e = np.concatenate(edges, axis=0)
+    return CSRGraph.from_edges(rows * cols, e, np.ones(e.shape[0], dtype=np.int64))
+
+
+def random_geometric_graph(
+    n_vertices: int,
+    radius: float,
+    *,
+    seed: int = 0,
+) -> CSRGraph:
+    """Unit-square random geometric graph (sensor/communication-network
+    stand-in for the multicast-routing application domain)."""
+    if n_vertices < 2:
+        raise GraphError("need at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n_vertices, 2))
+    # grid-bucketed neighbour search keeps this O(n) for sane radii
+    cell = max(radius, 1e-9)
+    gx = (pts[:, 0] / cell).astype(np.int64)
+    gy = (pts[:, 1] / cell).astype(np.int64)
+    buckets: dict[tuple[int, int], list[int]] = {}
+    for i in range(n_vertices):
+        buckets.setdefault((int(gx[i]), int(gy[i])), []).append(i)
+    src_list: list[int] = []
+    dst_list: list[int] = []
+    r2 = radius * radius
+    for (bx, by), members in buckets.items():
+        cand: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                cand.extend(buckets.get((bx + dx, by + dy), []))
+        cand_arr = np.asarray(cand, dtype=np.int64)
+        for i in members:
+            d2 = ((pts[cand_arr] - pts[i]) ** 2).sum(axis=1)
+            close = cand_arr[(d2 <= r2) & (cand_arr > i)]
+            src_list.extend([i] * close.size)
+            dst_list.extend(close.tolist())
+    if not src_list:
+        # fall back to a path so the graph is usable in tests
+        src = np.arange(n_vertices - 1, dtype=np.int64)
+        edges = np.stack([src, src + 1], axis=1)
+    else:
+        edges = np.stack(
+            [np.asarray(src_list, dtype=np.int64), np.asarray(dst_list, dtype=np.int64)],
+            axis=1,
+        )
+    return CSRGraph.from_edges(
+        n_vertices, edges, np.ones(edges.shape[0], dtype=np.int64)
+    )

@@ -1,0 +1,21 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+* :mod:`~repro.harness.datasets` — the scaled stand-ins for Table III's
+  eight real-world graphs;
+* :mod:`~repro.harness.experiments` — one module per table/figure (see
+  :data:`repro.harness.registry.EXPERIMENTS`);
+* :mod:`~repro.harness.reporting` — ASCII table rendering in the paper's
+  layout;
+* :mod:`~repro.harness.cli` — ``repro-steiner run <experiment>``.
+"""
+
+from repro.harness.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.harness.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "EXPERIMENTS",
+    "load_dataset",
+    "run_experiment",
+]

@@ -1,0 +1,133 @@
+"""Command-line interface: ``repro-steiner``.
+
+Subcommands
+-----------
+``list``
+    Show every available experiment id with its title.
+``run <id> [...ids] [--quick]``
+    Run experiments and print their reports.
+``all [--quick]``
+    Run the full evaluation sweep (every table and figure), printing
+    each report — the command behind EXPERIMENTS.md.
+``solve --dataset LVJ --seeds 30 [--ranks 16] [--queue priority]``
+    One-off solve on a stand-in dataset, printing the tree summary and
+    the phase breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.registry import EXPERIMENTS, run_experiment
+
+
+def _cmd_list(_args) -> int:
+    import importlib
+
+    for exp_id, module_path in EXPERIMENTS.items():
+        mod = importlib.import_module(module_path)
+        print(f"{exp_id:24s} {getattr(mod, 'TITLE', '')}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    for exp_id in args.experiment:
+        t0 = time.perf_counter()
+        report = run_experiment(exp_id, quick=args.quick)
+        if getattr(args, "json", False):
+            print(report.to_json())
+        else:
+            print(report.render())
+            print(
+                f"\n[{exp_id} completed in {time.perf_counter() - t0:.1f}s wall]\n"
+            )
+    return 0
+
+
+def _cmd_all(args) -> int:
+    args.experiment = list(EXPERIMENTS)
+    return _cmd_run(args)
+
+
+def _cmd_solve(args) -> int:
+    from repro.core.config import SolverConfig
+    from repro.core.solver import DistributedSteinerSolver
+    from repro.harness.datasets import load_dataset
+    from repro.harness.reporting import fmt_si, fmt_time
+    from repro.seeds.selection import select_seeds
+
+    graph = load_dataset(args.dataset)
+    seeds = select_seeds(graph, args.seeds, args.strategy, seed=args.seed)
+    solver = DistributedSteinerSolver(
+        graph, SolverConfig(n_ranks=args.ranks, discipline=args.queue)
+    )
+    res = solver.solve(seeds)
+    print(res.summary())
+    for p in res.phases:
+        print(
+            f"  {p.name:<24} {fmt_time(p.sim_time):>8}  "
+            f"msgs={fmt_si(p.n_messages)}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-steiner`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-steiner",
+        description="Reproduction harness for distributed 2-approximation "
+        "Steiner minimal trees (Reza et al., IPDPS 2022)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one or more experiments")
+    p_run.add_argument("experiment", nargs="+", choices=sorted(EXPERIMENTS))
+    p_run.add_argument("--quick", action="store_true", help="shrunk sweeps")
+    p_run.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_all = sub.add_parser("all", help="run the full evaluation sweep")
+    p_all.add_argument("--quick", action="store_true")
+    p_all.set_defaults(func=_cmd_all)
+
+    p_solve = sub.add_parser("solve", help="solve one instance")
+    p_solve.add_argument("--dataset", default="LVJ")
+    p_solve.add_argument("--seeds", type=int, default=30)
+    p_solve.add_argument("--ranks", type=int, default=16)
+    p_solve.add_argument(
+        "--queue", choices=["fifo", "priority"], default="priority"
+    )
+    p_solve.add_argument(
+        "--strategy",
+        choices=["bfs-level", "uniform-random", "eccentric", "proximate"],
+        default="bfs-level",
+    )
+    p_solve.add_argument("--seed", type=int, default=1, help="RNG seed")
+    p_solve.set_defaults(func=_cmd_solve)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro-steiner list | head`
+        import os
+
+        # flush-safe exit: stdout is already gone
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Scaled synthetic stand-ins for the paper's Table III datasets.
+
+The originals span CiteSeer (9.4K edges, 328KB) to WDC12 (257B edges,
+5.7TB); the billion-edge ones cannot exist in this environment, so each
+gets a generator-based stand-in that preserves the properties that drive
+the paper's behaviour:
+
+* **relative size ordering** (WDC > CLW > UKW > FRS > LVJ > PTN > MCO >
+  CTS),
+* **degree skew** — R-MAT for the web/social graphs (heavy-tailed hubs
+  stress partitioning and the delegate mechanism), preferential
+  attachment for the citation/co-author graphs,
+* **average degree** roughly matching Table III,
+* **edge-weight ranges** taken verbatim from Table III.
+
+Seed-count mapping: the paper sweeps ``|S| ∈ {10, 100, 1K, 10K}`` on
+multi-million-vertex graphs; on the stand-ins the same *fraction sweep*
+maps to ``{10, 30, 100, 300}``.  :data:`SEED_COUNTS` records the mapping
+used by every experiment and by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import preferential_attachment_graph, rmat_graph
+from repro.graph.weights import WeightSpec, assign_uniform_weights
+
+__all__ = ["DatasetSpec", "DATASETS", "load_dataset", "SEED_COUNTS"]
+
+#: paper seed counts -> scaled stand-in seed counts
+SEED_COUNTS = {10: 10, 100: 30, 1000: 100, 10000: 300}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table-III row: the original's facts and our stand-in recipe."""
+
+    name: str                      # short key (paper's abbreviation)
+    full_name: str
+    paper_vertices: str            # Table III columns, for documentation
+    paper_arcs: str
+    weight_range: WeightSpec
+    builder: Callable[[], CSRGraph]
+    kind: str                      # "web", "social", "citation", "coauthor"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DatasetSpec({self.name})"
+
+
+def _rmat(scale: int, edge_factor: int, spec: WeightSpec, seed: int):
+    def build() -> CSRGraph:
+        """Materialise this RMAT stand-in (deterministic)."""
+        g = rmat_graph(scale, edge_factor, seed=seed)
+        return assign_uniform_weights(g, spec, seed=seed + 1)
+
+    return build
+
+
+def _pa(n: int, attach: int, spec: WeightSpec, seed: int):
+    def build() -> CSRGraph:
+        """Materialise this preferential-attachment stand-in."""
+        g = preferential_attachment_graph(n, attach, seed=seed)
+        return assign_uniform_weights(g, spec, seed=seed + 1)
+
+    return build
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "WDC": DatasetSpec(
+        name="WDC",
+        full_name="Web Data Commons 2012 (stand-in)",
+        paper_vertices="3.5B",
+        paper_arcs="257B",
+        weight_range=WeightSpec(1, 500_000),
+        builder=_rmat(scale=12, edge_factor=24, spec=WeightSpec(1, 500_000), seed=11),
+        kind="web",
+    ),
+    "CLW": DatasetSpec(
+        name="CLW",
+        full_name="ClueWeb 2012 (stand-in)",
+        paper_vertices="978M",
+        paper_arcs="85B",
+        weight_range=WeightSpec(1, 100_000),
+        builder=_rmat(scale=12, edge_factor=18, spec=WeightSpec(1, 100_000), seed=22),
+        kind="web",
+    ),
+    "UKW": DatasetSpec(
+        name="UKW",
+        full_name="UK Web 2007-05 (stand-in)",
+        paper_vertices="105M",
+        paper_arcs="7.5B",
+        weight_range=WeightSpec(1, 75_000),
+        builder=_rmat(scale=11, edge_factor=18, spec=WeightSpec(1, 75_000), seed=33),
+        kind="web",
+    ),
+    "FRS": DatasetSpec(
+        name="FRS",
+        full_name="Friendster (stand-in)",
+        paper_vertices="66M",
+        paper_arcs="3.6B",
+        weight_range=WeightSpec(1, 50_000),
+        builder=_rmat(scale=11, edge_factor=14, spec=WeightSpec(1, 50_000), seed=44),
+        kind="social",
+    ),
+    "LVJ": DatasetSpec(
+        name="LVJ",
+        full_name="LiveJournal (stand-in)",
+        paper_vertices="4.8M",
+        paper_arcs="85.7M",
+        weight_range=WeightSpec(1, 5_000),
+        builder=_rmat(scale=11, edge_factor=9, spec=WeightSpec(1, 5_000), seed=55),
+        kind="social",
+    ),
+    "PTN": DatasetSpec(
+        name="PTN",
+        full_name="Patent citations (stand-in)",
+        paper_vertices="2.7M",
+        paper_arcs="28M",
+        weight_range=WeightSpec(1, 5_000),
+        builder=_pa(n=2_000, attach=5, spec=WeightSpec(1, 5_000), seed=66),
+        kind="citation",
+    ),
+    "MCO": DatasetSpec(
+        name="MCO",
+        full_name="MiCo co-authors (stand-in)",
+        paper_vertices="100K",
+        paper_arcs="2.2M",
+        weight_range=WeightSpec(1, 2_000),
+        builder=_pa(n=1_200, attach=11, spec=WeightSpec(1, 2_000), seed=77),
+        kind="coauthor",
+    ),
+    "CTS": DatasetSpec(
+        name="CTS",
+        full_name="CiteSeer (stand-in, near full scale)",
+        paper_vertices="3.3K",
+        paper_arcs="9.4K",
+        weight_range=WeightSpec(1, 1_000),
+        builder=_pa(n=1_000, attach=2, spec=WeightSpec(1, 1_000), seed=88),
+        kind="citation",
+    ),
+}
+
+
+@functools.lru_cache(maxsize=None)
+def _load_dataset_cached(key: str) -> CSRGraph:
+    return DATASETS[key].builder()
+
+
+def load_dataset(name: str) -> CSRGraph:
+    """Build (and memoise) the stand-in graph for a Table III key.
+
+    Generation is deterministic; repeated calls within a process return
+    the same object (case-insensitive), which keeps benchmark setup cheap
+    (the paper also excludes graph loading from its timings).
+    """
+    key = name.upper()
+    if key not in DATASETS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+    return _load_dataset_cached(key)

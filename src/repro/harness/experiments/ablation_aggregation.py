@@ -1,0 +1,77 @@
+"""Ablation — HavoqGT-style remote-message aggregation.
+
+HavoqGT (the paper's substrate) batches visitor messages bound for the
+same destination rank into aggregated buffers, amortising per-send
+overhead — one of the reasons the paper expects "an MPI-based
+implementation [to be] more efficient than a Hadoop/Spark based
+solution".  This ablation runs the solver with aggregation off vs on
+and reports the Voronoi-phase simulated time; the output tree and the
+visitor message counts are unchanged (aggregation affects the wire, not
+the algorithm).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import SEED_COUNTS, load_dataset
+from repro.harness.experiments._shared import ExperimentReport
+from repro.harness.reporting import fmt_si, fmt_time, render_table
+from repro.seeds.selection import select_seeds
+
+EXP_ID = "ablation-aggregation"
+TITLE = "Remote-message aggregation (HavoqGT buffering) on vs off"
+
+_PAPER_K = 100
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    """Run this experiment; ``quick=True`` shrinks the sweep for
+    test-suite use (see the module docstring for the paper claim
+    being reproduced)."""
+    datasets = ["WDC"] if not quick else ["LVJ"]
+    k = SEED_COUNTS[_PAPER_K]
+    report = ExperimentReport(EXP_ID, TITLE)
+    raw: dict[str, dict] = {}
+
+    headers = ["dataset", "aggregation", "Voronoi time", "total time", "messages"]
+    rows = []
+    for ds in datasets:
+        graph = load_dataset(ds)
+        seeds = select_seeds(graph, k, "bfs-level", seed=1)
+        results = {}
+        for label, agg in (("off", False), ("on", True)):
+            solver = DistributedSteinerSolver(
+                graph,
+                SolverConfig(n_ranks=16, aggregate_remote_messages=agg),
+            )
+            res = solver.solve(seeds)
+            results[label] = res
+            rows.append(
+                [
+                    ds,
+                    label,
+                    fmt_time(res.phase_time("Voronoi Cell")),
+                    fmt_time(res.sim_time()),
+                    fmt_si(res.message_count()),
+                ]
+            )
+        if not np.array_equal(results["off"].edges, results["on"].edges):
+            raise AssertionError("aggregation changed the output tree")
+        raw[ds] = {
+            "off_time": results["off"].sim_time(),
+            "on_time": results["on"].sim_time(),
+            "off_messages": results["off"].message_count(),
+            "on_messages": results["on"].message_count(),
+        }
+    report.tables.append(render_table(headers, rows, title=f"|S| scaled to {k}"))
+    report.notes.append(
+        "aggregation amortises per-send CPU overhead without changing the "
+        "algorithm: identical output tree, lower simulated time (message "
+        "counts may shift slightly because arrival timing changes the "
+        "async relaxation order, never the fixpoint)"
+    )
+    report.data = raw
+    return report

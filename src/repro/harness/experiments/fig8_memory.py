@@ -1,0 +1,111 @@
+"""Fig. 8 — cluster-wide peak memory usage.
+
+Paper: LVJ/CLW/WDC at ``|S| ∈ {1K, 10K}`` — memory split into the
+in-memory graph and "application runtime" (algorithm state, the
+replicated ``C(|S|,2)`` buffers, communication).  For the small LVJ,
+algorithm state dominates and grows 35.9x from 1K to 10K seeds; for the
+big graphs the graph itself dominates (1.7x growth for WDC).  §V-F also
+notes that chunked collectives bound the buffer at a runtime cost.
+
+Reproduction: the memory model over the same grid (scaled seed counts
+{100, 300}), plus the chunked-allreduce trade-off table.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import SEED_COUNTS, load_dataset
+from repro.harness.experiments._shared import ExperimentReport
+from repro.harness.reporting import fmt_bytes, fmt_time, render_table
+from repro.runtime.collectives import chunked_allreduce_time
+from repro.runtime.cost_model import MachineModel
+from repro.seeds.selection import select_seeds
+
+EXP_ID = "fig8"
+TITLE = "Cluster-wide peak memory: graph vs application runtime"
+
+_DATASETS = ["LVJ", "CLW", "WDC"]
+_PAPER_SEEDS = (1000, 10000)
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    """Run this experiment; ``quick=True`` shrinks the sweep for
+    test-suite use (see the module docstring for the paper claim
+    being reproduced)."""
+    datasets = ["LVJ"] if quick else _DATASETS
+    paper_seeds = _PAPER_SEEDS[:1] if quick else _PAPER_SEEDS
+    report = ExperimentReport(EXP_ID, TITLE)
+    raw: dict[str, dict[int, dict]] = {}
+
+    headers = [
+        "dataset",
+        "|S| (paper)",
+        "|S|",
+        "graph",
+        "runtime state",
+        "total",
+        "runtime growth",
+    ]
+    rows = []
+    for ds in datasets:
+        graph = load_dataset(ds)
+        raw[ds] = {}
+        prev_runtime = None
+        for paper_k in paper_seeds:
+            k = SEED_COUNTS[paper_k]
+            seeds = select_seeds(graph, k, "bfs-level", seed=1)
+            solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=16))
+            res = solver.solve(seeds)
+            mem = res.memory
+            assert mem is not None
+            growth = ""
+            if prev_runtime:
+                growth = f"{mem.runtime_bytes / prev_runtime:.1f}x"
+            prev_runtime = mem.runtime_bytes
+            rows.append(
+                [
+                    ds,
+                    paper_k,
+                    k,
+                    fmt_bytes(mem.graph_bytes),
+                    fmt_bytes(mem.runtime_bytes),
+                    fmt_bytes(mem.total_bytes),
+                    growth,
+                ]
+            )
+            raw[ds][paper_k] = {
+                "graph_bytes": mem.graph_bytes,
+                "runtime_bytes": mem.runtime_bytes,
+                "total_bytes": mem.total_bytes,
+            }
+    report.tables.append(render_table(headers, rows))
+
+    # §V-F chunked-collective trade-off on the largest seed count
+    machine = MachineModel()
+    k = SEED_COUNTS[paper_seeds[-1]]
+    n_elems = k * (k - 1) // 2
+    chunk_rows = []
+    for chunk in (n_elems, 50_000, 10_000, 1_000):
+        t = chunked_allreduce_time(machine, 16, n_elems, chunk, elem_bytes=24)
+        chunk_rows.append(
+            [
+                "single shot" if chunk == n_elems else f"{chunk} items",
+                fmt_bytes(min(chunk, n_elems) * 24),
+                fmt_time(t),
+            ]
+        )
+    report.tables.append(
+        render_table(
+            ["collective chunking", "peak comm buffer", "allreduce time"],
+            chunk_rows,
+            title=f"chunked allreduce trade-off (|S'|={k}, {n_elems} pairs)",
+        )
+    )
+    report.notes.append(
+        "runtime state grows with C(|S|,2) (replicated G'1/EN buffers); "
+        "the graph bar dominates only for the large datasets — the same "
+        "crossover as the paper's Fig. 8"
+    )
+    report.data = raw
+    return report

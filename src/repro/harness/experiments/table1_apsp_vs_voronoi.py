@@ -1,0 +1,70 @@
+"""Table I — APSP vs Voronoi-cell runtime, single thread.
+
+Paper: on LVJ and PTN with ``|S| ∈ {10, 100, 1000}``, APSP time grows
+~linearly with the seed count (49.7s → 5813s on LVJ) while Voronoi-cell
+time stays nearly flat (30s → 104s) — the motivating measurement for the
+whole design.
+
+Reproduction: wall-clock both kernels on the LVJ/PTN stand-ins with the
+scaled seed counts.  Expected shape: APSP/VC ratio grows by roughly the
+seed-count ratio; VC nearly flat.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.harness.datasets import SEED_COUNTS, load_dataset
+from repro.harness.experiments._shared import ExperimentReport, seeds_for
+from repro.harness.reporting import fmt_time, render_table
+from repro.shortest_paths.apsp import seed_pairs_apsp
+from repro.shortest_paths.voronoi import compute_voronoi_cells
+
+EXP_ID = "table1"
+TITLE = "APSP vs Voronoi-cell computation time (single thread)"
+
+_PAPER_SEED_COUNTS = (10, 100, 1000)
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    """Run this experiment; ``quick=True`` shrinks the sweep for
+    test-suite use (see the module docstring for the paper claim
+    being reproduced)."""
+    datasets = ["LVJ", "PTN"]
+    seed_counts = _PAPER_SEED_COUNTS[:2] if quick else _PAPER_SEED_COUNTS
+
+    headers = ["|S| (paper)", "|S| (scaled)"]
+    for ds in datasets:
+        headers += [f"{ds} APSP", f"{ds} VC"]
+    rows = []
+    raw: dict[str, dict[int, dict[str, float]]] = {ds: {} for ds in datasets}
+    for paper_k in seed_counts:
+        k = SEED_COUNTS[paper_k]
+        row: list[object] = [paper_k, k]
+        for ds in datasets:
+            graph = load_dataset(ds)
+            seeds = seeds_for(ds, k)
+            t0 = time.perf_counter()
+            seed_pairs_apsp(graph, seeds)
+            t_apsp = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            compute_voronoi_cells(graph, seeds)
+            t_vc = time.perf_counter() - t0
+            raw[ds][paper_k] = {"apsp": t_apsp, "vc": t_vc}
+            row += [fmt_time(t_apsp), fmt_time(t_vc)]
+        rows.append(row)
+
+    report = ExperimentReport(EXP_ID, TITLE)
+    report.tables.append(render_table(headers, rows))
+    for ds in datasets:
+        ks = sorted(raw[ds])
+        if len(ks) >= 2:
+            growth_apsp = raw[ds][ks[-1]]["apsp"] / max(raw[ds][ks[0]]["apsp"], 1e-12)
+            growth_vc = raw[ds][ks[-1]]["vc"] / max(raw[ds][ks[0]]["vc"], 1e-12)
+            report.notes.append(
+                f"{ds}: APSP grew {growth_apsp:.1f}x from |S|={ks[0]} to "
+                f"{ks[-1]}; Voronoi cells grew {growth_vc:.1f}x "
+                "(paper: APSP ~linear in |S|, VC nearly flat)"
+            )
+    report.data = raw
+    return report

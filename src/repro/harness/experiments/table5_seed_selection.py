@@ -1,0 +1,80 @@
+"""Table V — seed-selection strategies compared.
+
+Paper: on LVJ with ``|S| ∈ {100, 1K, 10K}``, the four strategies
+(BFS-level, uniform random, eccentric, proximate) perform similarly in
+runtime, but *proximate* produces dramatically smaller and cheaper trees
+(16.0K total distance vs 426.9K for BFS-level at ``|S| = 100``) — which
+is why the paper's evaluation avoids it.
+
+Reproduction: same grid on the LVJ stand-in with scaled seed counts;
+reported: runtime, ``D(GS)``, ``|ES|`` per strategy.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import SEED_COUNTS, load_dataset
+from repro.harness.experiments._shared import ExperimentReport
+from repro.harness.reporting import fmt_si, fmt_time, render_table
+from repro.seeds.selection import SeedStrategy, select_seeds
+
+EXP_ID = "table5"
+TITLE = "Seed-selection strategies: runtime, total distance, tree size (LVJ)"
+
+_PAPER_SEEDS = (100, 1000, 10000)
+_STRATEGIES = (
+    SeedStrategy.BFS_LEVEL,
+    SeedStrategy.UNIFORM_RANDOM,
+    SeedStrategy.ECCENTRIC,
+    SeedStrategy.PROXIMATE,
+)
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    """Run this experiment; ``quick=True`` shrinks the sweep for
+    test-suite use (see the module docstring for the paper claim
+    being reproduced)."""
+    paper_seeds = _PAPER_SEEDS[:1] if quick else _PAPER_SEEDS
+    strategies = _STRATEGIES[:2] + (_STRATEGIES[3],) if quick else _STRATEGIES
+    graph = load_dataset("LVJ")
+    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=16))
+    report = ExperimentReport(EXP_ID, TITLE)
+    raw: dict[str, dict[int, dict]] = {}
+
+    headers = ["strategy", "|S| (paper)", "|S|", "time", "D(GS)", "|ES|"]
+    rows = []
+    for strat in strategies:
+        raw[strat.value] = {}
+        for paper_k in paper_seeds:
+            k = SEED_COUNTS[paper_k]
+            seeds = select_seeds(graph, k, strat, seed=1)
+            res = solver.solve(seeds)
+            rows.append(
+                [
+                    strat.value,
+                    paper_k,
+                    k,
+                    fmt_time(res.sim_time()),
+                    fmt_si(res.total_distance),
+                    res.n_edges,
+                ]
+            )
+            raw[strat.value][paper_k] = {
+                "time": res.sim_time(),
+                "distance": res.total_distance,
+                "n_edges": res.n_edges,
+            }
+    report.tables.append(render_table(headers, rows))
+
+    if SeedStrategy.PROXIMATE.value in raw and SeedStrategy.BFS_LEVEL.value in raw:
+        pk = paper_seeds[0]
+        bfs_d = raw[SeedStrategy.BFS_LEVEL.value][pk]["distance"]
+        prox_d = raw[SeedStrategy.PROXIMATE.value][pk]["distance"]
+        report.notes.append(
+            f"proximate trees are {bfs_d / max(prox_d, 1):.1f}x cheaper than "
+            "BFS-level at the smallest seed count (paper: ~27x at |S|=100) — "
+            "the degenerate case the paper's evaluation avoids"
+        )
+    report.data = raw
+    return report

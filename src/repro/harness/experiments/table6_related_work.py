@@ -1,0 +1,111 @@
+"""Table VI — runtime comparison with related work.
+
+Paper: our solution with 16 ranks on one machine vs the exact solver
+SCIP-Jack (S), WWW (W) and Mehlhorn (M) on the four small graphs
+(LVJ/PTN/MCO/CTS) × ``|S| ∈ {10, 100, 1000}``.  Findings: the exact
+solver is minutes-to-an-hour; WWW's runtime is nearly flat in ``|S|``;
+Mehlhorn's implementation grows with ``|S|``; the distributed solution
+wins on the larger graphs (up to 27x vs Mehlhorn, 5x vs WWW).
+
+Reproduction: SCIP-Jack -> Dreyfus–Wagner exact where feasible
+(``|S| = 10``) and the refined-reference solver otherwise (labelled);
+WWW/Mehlhorn/KMB wall-clock; ours reported as both DES *simulated
+parallel time* (the honest 16-rank figure) and host wall-clock of the
+sequential reference implementation.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.exact import MAX_EXACT_SEEDS, exact_steiner_tree
+from repro.baselines.mehlhorn import mehlhorn_steiner_tree
+from repro.baselines.refine import refined_reference_tree
+from repro.baselines.www import www_steiner_tree
+from repro.core.config import SolverConfig
+from repro.core.sequential import sequential_steiner_tree
+from repro.core.solver import DistributedSteinerSolver
+from repro.harness.datasets import SEED_COUNTS, load_dataset
+from repro.harness.experiments._shared import ExperimentReport
+from repro.harness.reporting import fmt_time, render_table
+from repro.seeds.selection import select_seeds
+
+EXP_ID = "table6"
+TITLE = "Runtime vs related work (S=exact/ref, W=WWW, M=Mehlhorn, D=ours)"
+
+_DATASETS = ["LVJ", "PTN", "MCO", "CTS"]
+_PAPER_SEEDS = (10, 100, 1000)
+
+
+def run(quick: bool = False) -> ExperimentReport:
+    """Run this experiment; ``quick=True`` shrinks the sweep for
+    test-suite use (see the module docstring for the paper claim
+    being reproduced)."""
+    datasets = ["MCO", "CTS"] if quick else _DATASETS
+    paper_seeds = _PAPER_SEEDS[:2] if quick else _PAPER_SEEDS
+    report = ExperimentReport(EXP_ID, TITLE)
+    raw: dict[str, dict[int, dict[str, float]]] = {}
+
+    headers = ["dataset", "|S| (paper)", "|S|", "S (exact/ref)", "W", "M", "D sim", "D wall"]
+    rows = []
+    for ds in datasets:
+        graph = load_dataset(ds)
+        raw[ds] = {}
+        solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=16))
+        for paper_k in paper_seeds:
+            k = SEED_COUNTS[paper_k]
+            seeds = select_seeds(graph, k, "bfs-level", seed=1)
+
+            if k <= MAX_EXACT_SEEDS:
+                t0 = time.perf_counter()
+                exact_steiner_tree(graph, seeds)
+                t_s = time.perf_counter() - t0
+                s_label = fmt_time(t_s)
+            else:
+                t0 = time.perf_counter()
+                refined_reference_tree(graph, seeds, passes=1, n_candidates=16)
+                t_s = time.perf_counter() - t0
+                s_label = fmt_time(t_s) + "*"
+
+            t0 = time.perf_counter()
+            www_steiner_tree(graph, seeds)
+            t_w = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            mehlhorn_steiner_tree(graph, seeds)
+            t_m = time.perf_counter() - t0
+
+            res = solver.solve(seeds)
+            t_d_sim = res.sim_time()
+            t0 = time.perf_counter()
+            sequential_steiner_tree(graph, seeds)
+            t_d_wall = time.perf_counter() - t0
+
+            rows.append(
+                [
+                    ds,
+                    paper_k,
+                    k,
+                    s_label,
+                    fmt_time(t_w),
+                    fmt_time(t_m),
+                    fmt_time(t_d_sim),
+                    fmt_time(t_d_wall),
+                ]
+            )
+            raw[ds][paper_k] = {
+                "exact_or_ref": t_s,
+                "www": t_w,
+                "mehlhorn": t_m,
+                "ours_sim": t_d_sim,
+                "ours_wall": t_d_wall,
+            }
+    report.tables.append(render_table(headers, rows))
+    report.notes.append(
+        "'*' = refined-reference solver stands in for the exact solver "
+        "beyond the Dreyfus-Wagner limit (the paper uses SCIP-Jack). "
+        "Shape to verify: exact/ref >> 2-approximations; ours fastest on "
+        "the larger graphs."
+    )
+    report.data = raw
+    return report

@@ -1,0 +1,43 @@
+"""Kruskal's MST (sort + union-find)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.mst.union_find import UnionFind
+
+__all__ = ["kruskal_mst"]
+
+
+def kruskal_mst(
+    n_vertices: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weight: np.ndarray,
+) -> np.ndarray:
+    """Indices of a minimum spanning forest, Kruskal order.
+
+    Same contract as :func:`repro.mst.prim.prim_mst`; identical total
+    weight is guaranteed (and asserted in tests) though the chosen edge
+    set may differ when weights tie.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    weight = np.asarray(weight, dtype=np.int64)
+    m = src.size
+    if dst.size != m or weight.size != m:
+        raise GraphError("src/dst/weight must have equal length")
+    if m and (min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= n_vertices):
+        raise GraphError("edge endpoint out of range")
+
+    # deterministic order: weight, then endpoints
+    order = np.lexsort((dst, src, weight))
+    uf = UnionFind(n_vertices)
+    chosen: list[int] = []
+    for e in order:
+        if uf.union(int(src[e]), int(dst[e])):
+            chosen.append(int(e))
+            if uf.n_components == 1:
+                break
+    return np.asarray(sorted(chosen), dtype=np.int64)

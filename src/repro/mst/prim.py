@@ -1,0 +1,74 @@
+"""Prim's MST with a binary heap — the paper's choice for ``G'2``.
+
+Operates on a plain edge list (the distance graph ``G'1`` is materialised
+as arrays, not a CSRGraph, because it is tiny and rebuilt per run).  Ties
+are broken on ``(weight, endpoint ids)`` so the result is a deterministic
+function of the input, which the cross-implementation agreement tests rely
+on.  Handles disconnected inputs by returning a minimum spanning *forest*.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import GraphError
+
+__all__ = ["prim_mst"]
+
+
+def prim_mst(
+    n_vertices: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weight: np.ndarray,
+) -> np.ndarray:
+    """Indices (into the edge list) of a minimum spanning forest.
+
+    Parameters
+    ----------
+    n_vertices:
+        Vertex count; ids in ``src``/``dst`` must be ``< n_vertices``.
+    src, dst, weight:
+        Parallel arrays describing undirected edges.
+
+    Returns
+    -------
+    ``int64[k]`` edge indices, sorted ascending, forming an MSF.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    weight = np.asarray(weight, dtype=np.int64)
+    m = src.size
+    if dst.size != m or weight.size != m:
+        raise GraphError("src/dst/weight must have equal length")
+    if m and (min(src.min(), dst.min()) < 0 or max(src.max(), dst.max()) >= n_vertices):
+        raise GraphError("edge endpoint out of range")
+
+    # adjacency: vertex -> list of (other endpoint, edge index)
+    adj: list[list[tuple[int, int]]] = [[] for _ in range(n_vertices)]
+    for e in range(m):
+        u, v = int(src[e]), int(dst[e])
+        adj[u].append((v, e))
+        adj[v].append((u, e))
+
+    in_tree = np.zeros(n_vertices, dtype=bool)
+    chosen: list[int] = []
+    for start in range(n_vertices):
+        if in_tree[start]:
+            continue
+        in_tree[start] = True
+        heap: list[tuple[int, int, int, int]] = []
+        for v, e in adj[start]:
+            heapq.heappush(heap, (int(weight[e]), int(v), int(start), e))
+        while heap:
+            w, v, _u, e = heapq.heappop(heap)
+            if in_tree[v]:
+                continue
+            in_tree[v] = True
+            chosen.append(e)
+            for nxt, e2 in adj[v]:
+                if not in_tree[nxt]:
+                    heapq.heappush(heap, (int(weight[e2]), int(nxt), int(v), e2))
+    return np.asarray(sorted(chosen), dtype=np.int64)

@@ -1,0 +1,47 @@
+"""Disjoint-set forest with union by rank and path halving."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Array-backed disjoint-set structure over ``0 .. n-1``.
+
+    Used by Kruskal/Borůvka and by the tree-validity checker (a set of
+    edges is acyclic iff every union succeeds).
+    """
+
+    __slots__ = ("parent", "rank", "n_components")
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+        self.rank = np.zeros(n, dtype=np.int8)
+        self.n_components = n
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (with path halving)."""
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; False if already merged."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.n_components -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """True iff ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)

@@ -1,0 +1,70 @@
+"""Simulated MPI collectives.
+
+The distributed algorithm uses ``MPI_Allreduce(MPI_MIN)`` twice (paper
+Alg. 5): once over the per-rank min-distance cross-cell edge buffers
+(``EN``) and once over source-vertex ids during global edge pruning.  The
+simulation performs the reduction **semantically** (element-wise min over
+per-rank arrays) and charges the analytic tree-allreduce cost from the
+:class:`~repro.runtime.cost_model.MachineModel`.
+
+§V-F notes memory pressure from allreducing a ~50M-entry buffer in one
+shot and that chunked collectives trade memory for time —
+:func:`chunked_allreduce_time` models exactly that trade-off for the
+Fig. 8 discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.runtime.cost_model import MachineModel
+
+__all__ = [
+    "allreduce_elementwise_min",
+    "allreduce_min_time",
+    "chunked_allreduce_time",
+]
+
+
+def allreduce_elementwise_min(per_rank_arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Element-wise MIN across per-rank buffers (the semantic result every
+    rank holds after ``MPI_Allreduce(MPI_MIN)``)."""
+    if not per_rank_arrays:
+        raise ValueError("need at least one rank buffer")
+    out = np.array(per_rank_arrays[0], copy=True)
+    for arr in per_rank_arrays[1:]:
+        np.minimum(out, arr, out=out)
+    return out
+
+
+def allreduce_min_time(
+    machine: MachineModel,
+    n_ranks: int,
+    n_elements: int,
+    elem_bytes: int = 8,
+) -> float:
+    """Simulated duration of one allreduce over ``n_elements`` items."""
+    return machine.allreduce_time(n_ranks, n_elements * elem_bytes)
+
+
+def chunked_allreduce_time(
+    machine: MachineModel,
+    n_ranks: int,
+    n_elements: int,
+    chunk_elements: int,
+    elem_bytes: int = 8,
+) -> float:
+    """Duration when the buffer is reduced in fixed-size chunks.
+
+    Each chunk pays the full latency term, so many small chunks are slower
+    but bound the peak communication buffer to ``chunk_elements`` — the
+    memory/runtime trade-off of §V-F.
+    """
+    if chunk_elements < 1:
+        raise ValueError("chunk size must be >= 1")
+    n_chunks = max(1, math.ceil(n_elements / chunk_elements))
+    per_chunk = min(chunk_elements, n_elements)
+    return n_chunks * machine.allreduce_time(n_ranks, per_chunk * elem_bytes)

@@ -1,0 +1,97 @@
+"""Cluster-wide memory accounting (reproduces Fig. 8's breakdown).
+
+The paper splits peak memory into "In-memory Graph" (HavoqGT binary CSR)
+and "Application Runtime" (algorithm state: per-vertex ``src/pred/dist``,
+the replicated distance graph ``G'1``, the ``EN`` buffers, and message
+queues).  :func:`estimate_memory` reconstructs the same breakdown from
+the partition, seed count and the observed peak queue occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.cost_model import MachineModel
+from repro.runtime.partition import PartitionedGraph
+
+__all__ = ["MemoryReport", "estimate_memory"]
+
+_VERTEX_STATE_BYTES = 3 * 8       # src, pred, dist (int64 each)
+_EN_ENTRY_BYTES = 5 * 8           # (s, t) key + (u, v, dist) value
+_DISTANCE_GRAPH_EDGE_BYTES = 3 * 8  # (s, t, d'1)
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Byte breakdown of cluster-wide peak memory.
+
+    Attributes mirror Fig. 8's stacked bars: ``graph_bytes`` is the
+    in-memory graph; everything else sums into the "Application Runtime"
+    bar via :attr:`runtime_bytes`.
+    """
+
+    graph_bytes: int
+    vertex_state_bytes: int
+    distance_graph_bytes: int
+    en_buffer_bytes: int
+    queue_bytes: int
+
+    @property
+    def runtime_bytes(self) -> int:
+        """Algorithm-state + communication memory (Fig. 8 "Application
+        Runtime")."""
+        return (
+            self.vertex_state_bytes
+            + self.distance_graph_bytes
+            + self.en_buffer_bytes
+            + self.queue_bytes
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """Graph + application-runtime bytes (Fig. 8 bar height)."""
+        return self.graph_bytes + self.runtime_bytes
+
+
+def estimate_memory(
+    partition: PartitionedGraph,
+    n_seeds: int,
+    *,
+    peak_queue_total: int,
+    n_distance_edges: int | None = None,
+    machine: MachineModel | None = None,
+) -> MemoryReport:
+    """Estimate cluster-wide peak memory for one solver run.
+
+    Parameters
+    ----------
+    partition:
+        The partitioned graph (graph bytes come from its CSR arrays).
+    n_seeds:
+        ``|S|``; the replicated ``G'1`` and ``EN`` buffers scale with
+        ``C(|S|, 2)`` in the worst case — the driver of the paper's
+        ``|S| = 10K`` memory blow-up.
+    peak_queue_total:
+        Peak simultaneous buffered messages observed by the engine.
+    n_distance_edges:
+        Actual ``|E'1|`` if known; defaults to the ``C(|S|, 2)`` upper
+        bound used at INITIALIZATION time (paper Alg. 3 line 2 allocates
+        the full pairwise structure up front).
+    """
+    machine = machine or MachineModel()
+    if n_distance_edges is None:
+        n_distance_edges = n_seeds * (n_seeds - 1) // 2
+    graph_bytes = partition.graph.nbytes()
+    vertex_state = partition.graph.n_vertices * _VERTEX_STATE_BYTES
+    # G'1 and EN are replicated on every rank (paper: "it is replicated on
+    # all partitions"), hence the multiplication by n_ranks.
+    dg_bytes = n_distance_edges * _DISTANCE_GRAPH_EDGE_BYTES * partition.n_ranks
+    en_bytes = n_distance_edges * _EN_ENTRY_BYTES * partition.n_ranks
+    queue_bytes = peak_queue_total * machine.bytes_per_message
+    return MemoryReport(
+        graph_bytes=int(graph_bytes),
+        vertex_state_bytes=int(vertex_state),
+        distance_graph_bytes=int(dg_bytes),
+        en_buffer_bytes=int(en_bytes),
+        queue_bytes=int(queue_bytes),
+    )

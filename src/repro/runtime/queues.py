@@ -1,0 +1,90 @@
+"""Per-rank message queues: FIFO (HavoqGT's default) and priority.
+
+The paper's key runtime optimisation (§IV, evaluated in §V-C) is replacing
+the FIFO visitor queue with a **priority queue ordered by the distance a
+message carries**, which makes the asynchronous Bellman–Ford relaxation
+approximate Dijkstra's settle order and slashes wasted re-relaxations —
+3.5–13.1× faster, 4.9–22.1× fewer messages in the paper's runs.
+
+Both disciplines expose the same ``push/pop/``len()`` interface so the
+engine is discipline-agnostic.  Ties in the priority queue fall back to
+arrival order (a monotone sequence number), keeping the simulation fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import deque
+from typing import Any
+
+__all__ = ["QueueDiscipline", "FIFOQueue", "PriorityQueue", "make_queue"]
+
+
+class QueueDiscipline(str, enum.Enum):
+    """Message scheduling discipline for a rank's pending-visitor buffer."""
+
+    FIFO = "fifo"
+    PRIORITY = "priority"
+
+
+class FIFOQueue:
+    """Plain arrival-order buffer (HavoqGT default)."""
+
+    __slots__ = ("_dq", "peak")
+
+    def __init__(self) -> None:
+        self._dq: deque[Any] = deque()
+        self.peak = 0
+
+    def push(self, priority: float, item: Any) -> None:
+        """Priority is accepted (and ignored) for interface parity."""
+        self._dq.append(item)
+        if len(self._dq) > self.peak:
+            self.peak = len(self._dq)
+
+    def pop(self) -> Any:
+        """Dequeue the oldest message."""
+        return self._dq.popleft()
+
+    def __len__(self) -> int:
+        return len(self._dq)
+
+
+class PriorityQueue:
+    """Min-heap on ``(priority, seq)`` — the paper's optimisation.
+
+    Lower priority value = served sooner; for the Voronoi kernel the
+    priority is the carried tentative distance, which "can produce [a]
+    similar effect [to] the min-priority queue in Dijkstra's algorithm".
+    """
+
+    __slots__ = ("_heap", "_seq", "peak")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = 0
+        self.peak = 0
+
+    def push(self, priority: float, item: Any) -> None:
+        """Enqueue with the given priority (ties: arrival order)."""
+        self._seq += 1
+        heapq.heappush(self._heap, (priority, self._seq, item))
+        if len(self._heap) > self.peak:
+            self.peak = len(self._heap)
+
+    def pop(self) -> Any:
+        """Dequeue the lowest-priority-value (closest) message."""
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+def make_queue(discipline: QueueDiscipline | str):
+    """Instantiate the buffer for one rank."""
+    discipline = QueueDiscipline(discipline)
+    if discipline is QueueDiscipline.FIFO:
+        return FIFOQueue()
+    return PriorityQueue()

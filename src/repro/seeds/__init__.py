@@ -1,0 +1,19 @@
+"""Seed (terminal) vertex selection strategies from the paper's §V."""
+
+from repro.seeds.selection import (
+    SeedStrategy,
+    select_seeds,
+    bfs_level_seeds,
+    uniform_random_seeds,
+    eccentric_seeds,
+    proximate_seeds,
+)
+
+__all__ = [
+    "SeedStrategy",
+    "select_seeds",
+    "bfs_level_seeds",
+    "uniform_random_seeds",
+    "eccentric_seeds",
+    "proximate_seeds",
+]

@@ -1,0 +1,68 @@
+"""All-pair-shortest-paths among a seed set.
+
+This is the expensive Step 1 of the KMB algorithm (paper Alg. 1): build
+the complete distance graph ``G1`` whose vertices are the seeds and whose
+edge ``(s, t)`` carries ``d1(s, t)``, the shortest-path distance in the
+background graph.  Cost grows linearly with ``|S|`` (one Dijkstra per
+seed), which is precisely the comparison the paper's Table I draws against
+the seed-count-independent Voronoi-cell sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SeedError
+from repro.graph.csr import CSRGraph
+from repro.shortest_paths.dijkstra import INF, dijkstra_to_targets
+
+__all__ = ["seed_pairs_apsp"]
+
+
+def seed_pairs_apsp(
+    graph: CSRGraph,
+    seeds: Sequence[int],
+    *,
+    early_exit: bool = True,
+) -> np.ndarray:
+    """Pairwise shortest distances between seeds.
+
+    Parameters
+    ----------
+    graph:
+        Background graph.
+    seeds:
+        ``k`` distinct seed vertex ids.
+    early_exit:
+        Stop each per-seed Dijkstra once all other seeds are settled
+        (semantics unchanged; mirrors a sensible C++ implementation).
+
+    Returns
+    -------
+    ``int64[k, k]`` symmetric distance matrix in *seed list order*, zero
+    diagonal, :data:`~repro.shortest_paths.dijkstra.INF` for unreachable
+    pairs.
+    """
+    seed_list = [int(s) for s in seeds]
+    if len(set(seed_list)) != len(seed_list):
+        raise SeedError("seed set contains duplicates")
+    if not seed_list:
+        raise SeedError("seed set must be non-empty")
+    k = len(seed_list)
+    out = np.zeros((k, k), dtype=np.int64)
+    targets = seed_list if early_exit else range(graph.n_vertices)
+    for i, s in enumerate(seed_list):
+        if early_exit:
+            dist, _ = dijkstra_to_targets(graph, s, targets)
+        else:
+            from repro.shortest_paths.dijkstra import dijkstra
+
+            dist, _ = dijkstra(graph, s)
+        for j, t in enumerate(seed_list):
+            out[i, j] = dist[t]
+    # symmetry is guaranteed on undirected graphs; enforce min to be safe
+    out = np.minimum(out, out.T)
+    np.fill_diagonal(out, 0)
+    return out

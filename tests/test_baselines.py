@@ -1,0 +1,186 @@
+"""Tests for the baseline algorithms: validity, approximation bounds,
+agreement with the exact solver and with networkx."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.baselines.exact import MAX_EXACT_SEEDS, exact_steiner_tree
+from repro.baselines.kmb import kmb_steiner_tree
+from repro.baselines.mehlhorn import mehlhorn_steiner_tree
+from repro.baselines.refine import refined_reference_tree
+from repro.baselines.takahashi import takahashi_steiner_tree
+from repro.baselines.www import www_steiner_tree
+from repro.core.sequential import sequential_steiner_tree
+from repro.errors import DisconnectedSeedsError, SeedError
+from repro.graph.csr import CSRGraph
+from repro.shortest_paths.dijkstra import dijkstra
+from repro.validation import validate_steiner_tree
+from tests.conftest import component_seeds, make_connected_graph
+
+ALL_APPROX = [
+    kmb_steiner_tree,
+    mehlhorn_steiner_tree,
+    www_steiner_tree,
+    takahashi_steiner_tree,
+    sequential_steiner_tree,
+]
+
+
+class TestApproximationAlgorithms:
+    @pytest.mark.parametrize("algo", ALL_APPROX)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_valid_trees(self, algo, seed):
+        g = make_connected_graph(35, 90, seed=seed + 40)
+        seeds = component_seeds(g, 5, seed=seed)
+        res = algo(g, seeds)
+        validate_steiner_tree(g, seeds, res.edges)
+
+    @pytest.mark.parametrize("algo", ALL_APPROX)
+    def test_two_approximation_bound(self, algo):
+        for seed in range(4):
+            g = make_connected_graph(30, 80, seed=seed + 70)
+            seeds = component_seeds(g, 5, seed=seed)
+            opt = exact_steiner_tree(g, seeds)
+            res = algo(g, seeds)
+            assert opt.total_distance <= res.total_distance
+            assert res.total_distance <= 2 * opt.total_distance
+
+    @pytest.mark.parametrize("algo", ALL_APPROX)
+    def test_two_seeds_is_shortest_path(self, algo, random_graph):
+        seeds = component_seeds(random_graph, 2, seed=1)
+        res = algo(random_graph, seeds)
+        dist, _ = dijkstra(random_graph, int(seeds[0]))
+        assert res.total_distance == int(dist[seeds[1]])
+
+    @pytest.mark.parametrize(
+        "algo", [kmb_steiner_tree, mehlhorn_steiner_tree, www_steiner_tree,
+                 takahashi_steiner_tree]
+    )
+    def test_single_seed(self, algo, random_graph):
+        res = algo(random_graph, [5])
+        assert res.n_edges == 0
+
+    @pytest.mark.parametrize(
+        "algo", [kmb_steiner_tree, mehlhorn_steiner_tree, www_steiner_tree,
+                 takahashi_steiner_tree]
+    )
+    def test_disconnected_raises(self, algo):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)], [1, 1])
+        with pytest.raises(DisconnectedSeedsError):
+            algo(g, [0, 3])
+
+    def test_beats_networkx_or_matches(self, random_graph):
+        """Our 2-approximations should be in the same quality class as
+        networkx's steiner_tree (also KMB-family)."""
+        seeds = component_seeds(random_graph, 5, seed=2)
+        nx_tree = nx.algorithms.approximation.steiner_tree(
+            random_graph.to_networkx(), [int(s) for s in seeds], weight="weight"
+        )
+        nx_w = sum(d["weight"] for _, _, d in nx_tree.edges(data=True))
+        ours = sequential_steiner_tree(random_graph, seeds)
+        assert ours.total_distance <= 2 * nx_w
+        assert nx_w <= 2 * ours.total_distance
+
+    def test_takahashi_custom_start(self, random_graph):
+        seeds = component_seeds(random_graph, 4, seed=3)
+        res = takahashi_steiner_tree(random_graph, seeds, start=int(seeds[-1]))
+        validate_steiner_tree(random_graph, seeds, res.edges)
+
+    def test_takahashi_bad_start(self, random_graph):
+        seeds = component_seeds(random_graph, 4, seed=3)
+        bad = next(v for v in range(random_graph.n_vertices) if v not in set(seeds.tolist()))
+        with pytest.raises(ValueError):
+            takahashi_steiner_tree(random_graph, seeds, start=bad)
+
+
+class TestExactSolver:
+    def brute_force_optimum(self, graph, seeds) -> int:
+        """Min over all vertex supersets U ⊇ S of MST(G[U]) — exact by
+        the induced-subgraph characterisation of Steiner minimal trees."""
+        from itertools import combinations
+
+        from repro.baselines._common import mst_of_vertex_set
+        from repro.mst.union_find import UnionFind
+
+        n = graph.n_vertices
+        seed_set = set(int(s) for s in seeds)
+        others = [v for v in range(n) if v not in seed_set]
+        best = None
+        for r in range(len(others) + 1):
+            for extra in combinations(others, r):
+                vertices = sorted(seed_set | set(extra))
+                rows = mst_of_vertex_set(graph, vertices)
+                # must connect all seeds in one component
+                uf = UnionFind(n)
+                for u, v, _ in rows:
+                    uf.union(u, v)
+                root = uf.find(int(seeds[0]))
+                if any(uf.find(int(s)) != root for s in seeds):
+                    continue
+                w = sum(e[2] for e in rows)
+                if best is None or w < best:
+                    best = w
+        assert best is not None
+        return best
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_bruteforce_on_tiny_graphs(self, seed):
+        g = make_connected_graph(9, 16, weight_high=9, seed=seed + 300)
+        seeds = component_seeds(g, 3, seed=seed)
+        res = exact_steiner_tree(g, seeds)
+        validate_steiner_tree(g, seeds, res.edges)
+        assert res.total_distance == self.brute_force_optimum(g, seeds)
+
+    def test_two_seeds_is_shortest_path(self, random_graph):
+        seeds = component_seeds(random_graph, 2, seed=4)
+        res = exact_steiner_tree(random_graph, seeds)
+        dist, _ = dijkstra(random_graph, int(seeds[0]))
+        assert res.total_distance == int(dist[seeds[1]])
+
+    def test_single_seed(self, random_graph):
+        res = exact_steiner_tree(random_graph, [0])
+        assert res.n_edges == 0
+
+    def test_seed_limit(self, random_graph):
+        too_many = component_seeds(random_graph, MAX_EXACT_SEEDS + 1, seed=0)
+        if too_many.size > MAX_EXACT_SEEDS:
+            with pytest.raises(SeedError, match="limited"):
+                exact_steiner_tree(random_graph, too_many)
+
+    def test_disconnected_raises(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)], [1, 1])
+        with pytest.raises(DisconnectedSeedsError):
+            exact_steiner_tree(g, [0, 2])
+
+    def test_never_above_approximations(self):
+        for seed in range(3):
+            g = make_connected_graph(25, 60, seed=seed + 500)
+            seeds = component_seeds(g, 4, seed=seed)
+            opt = exact_steiner_tree(g, seeds)
+            for algo in ALL_APPROX:
+                assert opt.total_distance <= algo(g, seeds).total_distance
+
+
+class TestRefinedReference:
+    def test_at_least_as_good_as_all_builders(self, random_graph):
+        seeds = component_seeds(random_graph, 6, seed=5)
+        ref = refined_reference_tree(random_graph, seeds, passes=2)
+        validate_steiner_tree(random_graph, seeds, ref.edges)
+        for algo in ALL_APPROX:
+            assert ref.total_distance <= algo(random_graph, seeds).total_distance
+
+    def test_matches_exact_on_small_instances(self):
+        hits = 0
+        for seed in range(4):
+            g = make_connected_graph(20, 50, seed=seed + 600)
+            seeds = component_seeds(g, 4, seed=seed)
+            opt = exact_steiner_tree(g, seeds)
+            ref = refined_reference_tree(g, seeds)
+            assert ref.total_distance >= opt.total_distance
+            if ref.total_distance == opt.total_distance:
+                hits += 1
+        assert hits >= 2  # usually optimal at this scale

@@ -1,0 +1,85 @@
+"""Tests for chunked collectives (§V-F option) and the result API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from tests.conftest import component_seeds, make_connected_graph
+
+
+@pytest.fixture(scope="module")
+def instance():
+    g = make_connected_graph(60, 160, seed=900)
+    seeds = component_seeds(g, 8, seed=900)
+    return g, seeds
+
+
+class TestChunkedCollectives:
+    def test_same_tree_any_chunking(self, instance):
+        g, seeds = instance
+        baseline = DistributedSteinerSolver(
+            g, SolverConfig(n_ranks=8)
+        ).solve(seeds)
+        for chunk in (1, 5, 100, 10_000):
+            res = DistributedSteinerSolver(
+                g, SolverConfig(n_ranks=8, collective_chunk_elements=chunk)
+            ).solve(seeds)
+            assert np.array_equal(res.edges, baseline.edges)
+
+    def test_chunking_slows_collectives(self, instance):
+        g, seeds = instance
+        single = DistributedSteinerSolver(
+            g, SolverConfig(n_ranks=8)
+        ).solve(seeds)
+        chunked = DistributedSteinerSolver(
+            g, SolverConfig(n_ranks=8, collective_chunk_elements=2)
+        ).solve(seeds)
+        coll = lambda r: r.phase_time("Global Min Dist. Edge") + r.phase_time(
+            "Global Edge Pruning"
+        )
+        assert coll(chunked) > coll(single)
+
+    def test_chunking_bounds_memory(self, instance):
+        g, seeds = instance
+        single = DistributedSteinerSolver(
+            g, SolverConfig(n_ranks=8)
+        ).solve(seeds)
+        chunked = DistributedSteinerSolver(
+            g, SolverConfig(n_ranks=8, collective_chunk_elements=3)
+        ).solve(seeds)
+        assert chunked.memory.en_buffer_bytes < single.memory.en_buffer_bytes
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            SolverConfig(collective_chunk_elements=0)
+
+
+class TestResultAPI:
+    def test_vertices_includes_isolated_seed(self, instance):
+        g, seeds = instance
+        res = DistributedSteinerSolver(g, SolverConfig(n_ranks=4)).solve(seeds)
+        verts = set(res.vertices().tolist())
+        assert set(seeds.tolist()) <= verts
+
+    def test_edge_rows_sorted_and_unique(self, instance):
+        g, seeds = instance
+        res = DistributedSteinerSolver(g, SolverConfig(n_ranks=4)).solve(seeds)
+        rows = [tuple(r) for r in res.edges[:, :2].tolist()]
+        assert rows == sorted(rows)
+        assert len(set(rows)) == len(rows)
+        assert (res.edges[:, 0] < res.edges[:, 1]).all()
+
+    def test_message_count_sums_phases(self, instance):
+        g, seeds = instance
+        res = DistributedSteinerSolver(g, SolverConfig(n_ranks=4)).solve(seeds)
+        assert res.message_count() == sum(p.n_messages for p in res.phases)
+
+    def test_sim_time_is_phase_sum(self, instance):
+        g, seeds = instance
+        res = DistributedSteinerSolver(g, SolverConfig(n_ranks=4)).solve(seeds)
+        assert res.sim_time() == pytest.approx(
+            sum(p.sim_time for p in res.phases)
+        )

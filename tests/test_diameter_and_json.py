@@ -1,0 +1,108 @@
+"""Tests for diameter approximation and the JSON report export."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph.diameter import approximate_diameter, double_sweep_lower_bound
+from repro.graph.generators import grid_graph
+from tests.conftest import make_connected_graph
+
+
+class TestDoubleSweep:
+    def test_exact_on_path(self):
+        n = 10
+        g = CSRGraph.from_edges(
+            n, [(i, i + 1) for i in range(n - 1)], [3] * (n - 1)
+        )
+        lb, a, b = double_sweep_lower_bound(g, 4)
+        assert lb == 3 * (n - 1)
+        assert {a, b} == {0, n - 1}
+
+    def test_exact_on_unit_grid(self):
+        g = grid_graph(5, 5)
+        lb, _, _ = double_sweep_lower_bound(g, 12)  # centre start
+        assert lb == 8  # opposite corners
+
+    def test_lower_bound_property(self):
+        for seed in range(4):
+            g = make_connected_graph(30, 80, seed=seed + 5000)
+            lb, _, _ = double_sweep_lower_bound(g, 0)
+            nxg = g.to_networkx()
+            true_diam = max(
+                max(lengths.values())
+                for _, lengths in nx.all_pairs_dijkstra_path_length(
+                    nxg, weight="weight"
+                )
+            )
+            assert lb <= true_diam
+
+    def test_bad_start(self):
+        with pytest.raises(GraphError):
+            double_sweep_lower_bound(grid_graph(2, 2), 99)
+
+
+class TestApproximateDiameter:
+    def test_monotone_in_probes(self):
+        g = make_connected_graph(40, 100, seed=6000)
+        one = approximate_diameter(g, n_probes=1, seed=1)
+        many = approximate_diameter(g, n_probes=6, seed=1)
+        assert many >= one
+
+    def test_deterministic(self):
+        g = make_connected_graph(40, 100, seed=6001)
+        assert approximate_diameter(g, seed=2) == approximate_diameter(g, seed=2)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(0, np.zeros((0, 2), np.int64), [])
+        assert approximate_diameter(g) == 0
+
+    def test_bad_probe_count(self):
+        with pytest.raises(GraphError):
+            approximate_diameter(grid_graph(2, 2), n_probes=0)
+
+
+class TestJsonExport:
+    def test_report_round_trips(self):
+        from repro.harness.registry import run_experiment
+
+        rep = run_experiment("fig2", quick=True)
+        parsed = json.loads(rep.to_json())
+        assert parsed["exp_id"] == "fig2"
+        assert parsed["data"]["total_distance"] > 0
+
+    def test_numpy_values_coerced(self):
+        from repro.harness.experiments._shared import ExperimentReport
+
+        rep = ExperimentReport(
+            "x",
+            "t",
+            data={
+                "i": np.int64(5),
+                "f": np.float64(1.5),
+                "arr": np.asarray([1, 2]),
+                "nested": {"k": (np.int64(1), np.int64(2))},
+            },
+        )
+        parsed = json.loads(rep.to_json())
+        assert parsed["data"] == {
+            "i": 5,
+            "f": 1.5,
+            "arr": [1, 2],
+            "nested": {"k": [1, 2]},
+        }
+
+    def test_cli_json_flag(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["run", "fig2", "--quick", "--json"]) == 0
+        out = capsys.readouterr().out
+        parsed = json.loads(out)
+        assert parsed["exp_id"] == "fig2"

@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs to completion and prints the
+expected headline artefacts."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart_reproduces_fig1(self):
+        out = run_example("quickstart.py")
+        # the Fig. 1(b) tree: total distance 23, Steiner vertex 5
+        assert "total distance D(GS) = 23" in out
+        assert "[5]" in out
+        assert "Voronoi Cell" in out
+
+    def test_knowledge_discovery(self):
+        out = run_example("knowledge_discovery.py")
+        assert "initial connection tree" in out
+        assert "after penalising the hub" in out
+        assert "proximate" in out and "eccentric" in out
+
+    def test_vlsi_routing(self):
+        out = run_example("vlsi_routing.py")
+        assert "approximation ratio" in out
+        # the rendered fabric contains pins and route marks
+        assert "P" in out and "*" in out
+
+    def test_scaling_study(self):
+        out = run_example("scaling_study.py")
+        assert "strong scaling" in out
+        assert "priority-queue speedup" in out
+
+    def test_multicast_routing(self):
+        out = run_example("multicast_routing.py")
+        assert "multicast tree cost" in out
+        assert "ratio" in out

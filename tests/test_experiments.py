@@ -1,0 +1,195 @@
+"""Quick-mode runs of every experiment, asserting the *shape* claims
+each paper table/figure makes (not absolute numbers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.registry import run_experiment
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+@pytest.fixture(scope="module")
+def reports():
+    """Run all experiments once in quick mode and share across tests."""
+    return {}
+
+
+def get_report(reports, exp_id):
+    if exp_id not in reports:
+        reports[exp_id] = run_experiment(exp_id, quick=True)
+    return reports[exp_id]
+
+
+class TestExperimentShapes:
+    def test_table1_apsp_grows_vc_flat(self, reports):
+        rep = get_report(reports, "table1")
+        for ds, cells in rep.data.items():
+            ks = sorted(cells)
+            apsp_growth = cells[ks[-1]]["apsp"] / cells[ks[0]]["apsp"]
+            vc_growth = cells[ks[-1]]["vc"] / cells[ks[0]]["vc"]
+            # APSP must grow substantially faster than Voronoi cells
+            assert apsp_growth > 1.5 * vc_growth, (ds, apsp_growth, vc_growth)
+
+    def test_table3_has_all_columns(self, reports):
+        rep = get_report(reports, "table3")
+        for row in rep.data.values():
+            assert row["n_vertices"] > 0
+            assert row["n_arcs"] > 0
+
+    def test_fig3_speedup_with_ranks(self, reports):
+        rep = get_report(reports, "fig3")
+        for ds, per_k in rep.data.items():
+            for paper_k, per_ranks in per_k.items():
+                ranks = sorted(per_ranks)
+                totals = [per_ranks[r]["total"] for r in ranks]
+                # more ranks -> faster (strong scaling shape)
+                assert totals[-1] < totals[0], (ds, paper_k, totals)
+
+    def test_fig3_voronoi_dominates(self, reports):
+        rep = get_report(reports, "fig3")
+        for per_k in rep.data.values():
+            for per_ranks in per_k.values():
+                for cell in per_ranks.values():
+                    phases = cell["phases"]
+                    assert phases["Voronoi Cell"] == max(phases.values())
+
+    def test_fig4_collectives_grow_with_seeds(self, reports):
+        rep = get_report(reports, "fig4")
+        for ds, per_k in rep.data.items():
+            ks = sorted(per_k)
+            lo = per_k[ks[0]]["phases"]["Global Min Dist. Edge"]
+            hi = per_k[ks[-1]]["phases"]["Global Min Dist. Edge"]
+            assert hi >= lo, ds
+
+    def test_table4_trees_much_smaller_than_graph(self, reports):
+        from repro.harness.datasets import load_dataset
+
+        rep = get_report(reports, "table4")
+        for paper_k, per_ds in rep.data.items():
+            for ds, n_edges in per_ds.items():
+                if n_edges is None:
+                    continue
+                assert n_edges < load_dataset(ds).n_edges / 2
+
+    def test_table4_tree_size_grows_with_seeds(self, reports):
+        rep = get_report(reports, "table4")
+        ks = sorted(rep.data)
+        for ds in rep.data[ks[0]]:
+            sizes = [
+                rep.data[k][ds] for k in ks if rep.data[k].get(ds) is not None
+            ]
+            assert sizes == sorted(sizes), ds
+
+    def test_fig5_priority_not_slower(self, reports):
+        rep = get_report(reports, "fig5")
+        for ds, cell in rep.data.items():
+            assert cell["speedup"] >= 1.0, ds
+
+    def test_fig6_priority_fewer_messages(self, reports):
+        rep = get_report(reports, "fig6")
+        for ds, cell in rep.data.items():
+            assert cell["reduction"] >= 1.0, ds
+            # reduction concentrates in the Voronoi phase
+            fifo_vc = cell["fifo"]["per_phase"]["Voronoi Cell"]
+            prio_vc = cell["priority"]["per_phase"]["Voronoi Cell"]
+            assert fifo_vc >= prio_vc
+
+    def test_fig7_priority_less_sensitive(self, reports):
+        rep = get_report(reports, "fig7")
+        assert rep.data["fifo_std"] >= rep.data["priority_std"]
+        for high, t_fifo in rep.data["times"]["fifo"].items():
+            assert t_fifo >= rep.data["times"]["priority"][high]
+
+    def test_table5_proximate_smallest(self, reports):
+        rep = get_report(reports, "table5")
+        pk = sorted(next(iter(rep.data.values())))[0]
+        prox = rep.data["proximate"][pk]["distance"]
+        for strat, cells in rep.data.items():
+            assert prox <= cells[pk]["distance"], strat
+
+    def test_fig8_memory_positive_breakdown(self, reports):
+        rep = get_report(reports, "fig8")
+        for ds, per_k in rep.data.items():
+            for cell in per_k.values():
+                assert cell["total_bytes"] == (
+                    cell["graph_bytes"] + cell["runtime_bytes"]
+                )
+
+    def test_table6_exact_much_slower(self, reports):
+        rep = get_report(reports, "table6")
+        for ds, per_k in rep.data.items():
+            for cell in per_k.values():
+                assert cell["exact_or_ref"] > cell["www"]
+                assert cell["exact_or_ref"] > cell["mehlhorn"]
+
+    def test_table7_within_bound(self, reports):
+        rep = get_report(reports, "table7")
+        assert 1.0 <= rep.data["average_ratio"] <= 2.0
+        for per_k in rep.data["cells"].values():
+            for cell in per_k.values():
+                assert 1.0 <= cell["ratio"] <= 2.0
+
+    def test_fig9_emits_dot(self, reports):
+        rep = get_report(reports, "fig9")
+        for cell in rep.data.values():
+            assert cell["dot"].startswith("graph")
+            assert cell["n_steiner"] >= 0
+
+    def test_ablation_bsp_slower(self, reports):
+        rep = get_report(reports, "ablation-async-vs-bsp")
+        for ds, cell in rep.data.items():
+            assert cell["speedup"] >= 1.0, ds
+
+    def test_ablation_delegates_balance(self, reports):
+        rep = get_report(reports, "ablation-delegates")
+        for ds, cell in rep.data.items():
+            assert cell["on"]["imbalance"] <= cell["off"]["imbalance"] + 1e-9
+            assert cell["on"]["n_delegates"] > 0
+
+    def test_ablation_mst_agreement_and_collapse(self, reports):
+        rep = get_report(reports, "ablation-mst")
+        rounds = rep.data["boruvka_rounds"]
+        assert rounds == sorted(rounds, reverse=True)
+        assert rep.data["mst_weight"] > 0
+
+    def test_fig2_artifacts_consistent(self, reports):
+        rep = get_report(reports, "fig2")
+        data = rep.data
+        # MST over k cells has exactly k-1 edges; pruning removes the rest
+        k = len(data["cell_sizes"])
+        assert data["n_mst_edges"] == k - 1
+        assert data["n_pruned"] == data["n_distance_edges"] - data["n_mst_edges"]
+        assert data["total_distance"] > 0
+
+    def test_ablation_kernel_fixpoints_agree(self, reports):
+        rep = get_report(reports, "ablation-kernel")
+        # the experiment itself raises if fixpoints disagree; here just
+        # check all three kernels reported a positive time
+        for ds, times in rep.data.items():
+            assert len(times) == 3
+            assert all(t > 0 for t in times.values()), ds
+
+    def test_ablation_chunking_tradeoff(self, reports):
+        rep = get_report(reports, "ablation-chunked-collectives")
+        single = rep.data["single shot"]
+        smallest = min(
+            (cell for label, cell in rep.data.items() if label != "single shot"),
+            key=lambda c: c["en_buffer_bytes"],
+        )
+        assert smallest["en_buffer_bytes"] < single["en_buffer_bytes"]
+        assert smallest["collective_time"] > single["collective_time"]
+        # chunking never changes the answer
+        assert smallest["distance"] == single["distance"]
+
+    def test_ablation_aggregation_helps(self, reports):
+        rep = get_report(reports, "ablation-aggregation")
+        for ds, cell in rep.data.items():
+            assert cell["on_time"] <= cell["off_time"], ds
+
+    def test_reports_render(self, reports):
+        # every cached report renders without error
+        for exp_id, rep in reports.items():
+            text = rep.render()
+            assert exp_id in text

@@ -1,0 +1,143 @@
+"""Unit tests for the synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    grid_graph,
+    preferential_attachment_graph,
+    random_geometric_graph,
+    rmat_graph,
+)
+
+
+class TestRMAT:
+    def test_vertex_count(self):
+        g = rmat_graph(6, 4, seed=1)
+        assert g.n_vertices == 64
+
+    def test_deterministic(self):
+        assert rmat_graph(6, 4, seed=9) == rmat_graph(6, 4, seed=9)
+
+    def test_seed_changes_graph(self):
+        assert rmat_graph(6, 4, seed=1) != rmat_graph(6, 4, seed=2)
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(9, 8, seed=3)
+        # RMAT hubs: max degree far above the average
+        assert g.max_degree > 4 * g.avg_degree
+
+    def test_bad_scale(self):
+        with pytest.raises(GraphError):
+            rmat_graph(0)
+        with pytest.raises(GraphError):
+            rmat_graph(40)
+
+    def test_bad_probabilities(self):
+        with pytest.raises(GraphError):
+            rmat_graph(4, 2, a=0.9, b=0.9, c=0.9)
+
+
+class TestPreferentialAttachment:
+    def test_connected_by_construction(self):
+        from repro.graph.connectivity import is_connected
+
+        g = preferential_attachment_graph(100, 3, seed=0)
+        assert is_connected(g)
+
+    def test_vertex_count_and_edges(self):
+        g = preferential_attachment_graph(50, 2, seed=1)
+        assert g.n_vertices == 50
+        # each of the (n - attach) arrivals adds `attach` edges
+        assert g.n_edges >= (50 - 2) * 2 - 5  # dedupe tolerance
+
+    def test_deterministic(self):
+        a = preferential_attachment_graph(60, 3, seed=4)
+        b = preferential_attachment_graph(60, 3, seed=4)
+        assert a == b
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(1)
+
+
+class TestErdosRenyi:
+    def test_basic(self):
+        g = erdos_renyi_graph(30, 60, seed=0)
+        assert g.n_vertices == 30
+        assert g.n_edges > 0
+
+    def test_deterministic(self):
+        assert erdos_renyi_graph(30, 60, seed=5) == erdos_renyi_graph(30, 60, seed=5)
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(1, 5)
+
+
+class TestGrid:
+    def test_4_connectivity_edge_count(self):
+        g = grid_graph(3, 4)
+        # horizontal: 3 * 3, vertical: 2 * 4
+        assert g.n_edges == 9 + 8
+        assert g.n_vertices == 12
+
+    def test_8_connectivity(self):
+        g4 = grid_graph(3, 3)
+        g8 = grid_graph(3, 3, diagonal=True)
+        assert g8.n_edges == g4.n_edges + 2 * 4  # 4 diagonals each direction
+
+    def test_corner_degree(self):
+        g = grid_graph(3, 3)
+        assert g.degree(0) == 2
+        assert g.degree(4) == 4  # centre
+
+    def test_single_cell(self):
+        g = grid_graph(1, 1)
+        assert g.n_vertices == 1
+        assert g.n_edges == 0
+
+    def test_bad_dims(self):
+        with pytest.raises(GraphError):
+            grid_graph(0, 3)
+
+
+class TestRandomGeometric:
+    def test_radius_controls_density(self):
+        sparse = random_geometric_graph(80, 0.08, seed=1)
+        dense = random_geometric_graph(80, 0.25, seed=1)
+        assert dense.n_edges > sparse.n_edges
+
+    def test_deterministic(self):
+        a = random_geometric_graph(50, 0.2, seed=2)
+        b = random_geometric_graph(50, 0.2, seed=2)
+        assert a == b
+
+    def test_tiny_radius_falls_back_to_path(self):
+        g = random_geometric_graph(10, 1e-6, seed=0)
+        assert g.n_edges >= 9  # fallback path keeps it usable
+
+    def test_too_small(self):
+        with pytest.raises(GraphError):
+            random_geometric_graph(1, 0.5)
+
+
+class TestUnitWeights:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: rmat_graph(5, 3, seed=0),
+            lambda: preferential_attachment_graph(40, 2, seed=0),
+            lambda: erdos_renyi_graph(30, 50, seed=0),
+            lambda: grid_graph(4, 4),
+            lambda: random_geometric_graph(40, 0.3, seed=0),
+        ],
+    )
+    def test_generators_emit_unit_weights(self, factory):
+        g = factory()
+        if g.n_arcs:
+            assert (np.asarray(g.weights) == 1).all()

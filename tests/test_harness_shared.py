@@ -1,0 +1,56 @@
+"""Unit tests for the harness experiment scaffolding (_shared)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.result import PHASE_NAMES
+from repro.harness.experiments._shared import (
+    ExperimentReport,
+    phase_times,
+    seeds_for,
+    solve,
+)
+
+
+class TestSolveHelper:
+    def test_solve_returns_phased_result(self):
+        res = solve("CTS", 5, n_ranks=4)
+        assert tuple(p.name for p in res.phases) == PHASE_NAMES
+        assert res.total_distance > 0
+
+    def test_solve_respects_discipline(self):
+        fifo = solve("CTS", 5, n_ranks=4, discipline="fifo")
+        prio = solve("CTS", 5, n_ranks=4, discipline="priority")
+        assert np.array_equal(fifo.edges, prio.edges)
+
+    def test_solve_forwards_config_kwargs(self):
+        res = solve("CTS", 5, n_ranks=4, collect_diagram=True)
+        assert res.diagram is not None
+
+    def test_seeds_for_deterministic(self):
+        a = seeds_for("CTS", 6, seed=3)
+        b = seeds_for("CTS", 6, seed=3)
+        assert np.array_equal(a, b)
+        assert a.size == 6
+
+    def test_phase_times_keys(self):
+        res = solve("CTS", 5, n_ranks=4)
+        pt = phase_times(res)
+        assert tuple(pt) == PHASE_NAMES
+        assert all(t >= 0 for t in pt.values())
+
+
+class TestExperimentReport:
+    def test_render_contains_everything(self):
+        rep = ExperimentReport(
+            "demo", "Demo title", tables=["col\n---\n1"], notes=["a note"]
+        )
+        text = rep.render()
+        assert "demo" in text and "Demo title" in text
+        assert "col" in text and "note: a note" in text
+
+    def test_render_without_notes(self):
+        rep = ExperimentReport("x", "t")
+        assert rep.render().startswith("== x: t ==")

@@ -1,0 +1,121 @@
+"""Unit tests for the MST kernels and union-find."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.mst.boruvka import boruvka_mst, boruvka_rounds
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.prim import prim_mst
+from repro.mst.union_find import UnionFind
+from tests.conftest import make_connected_graph
+
+
+def edge_list_of(graph):
+    src, dst, w = graph.edge_array()
+    return src, dst, w
+
+
+def nx_mst_weight(graph):
+    t = nx.minimum_spanning_tree(graph.to_networkx(), weight="weight")
+    return sum(d["weight"] for _, _, d in t.edges(data=True))
+
+
+ALL_KERNELS = [prim_mst, kruskal_mst, boruvka_mst]
+
+
+class TestUnionFind:
+    def test_basic(self):
+        uf = UnionFind(4)
+        assert uf.n_components == 4
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.n_components == 3
+
+    def test_transitive(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(2, 3)
+        uf.union(2, 3)
+        assert uf.connected(0, 4)
+        assert uf.n_components == 1
+
+
+class TestMSTKernels:
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_weight_matches_networkx(self, kernel, seed):
+        g = make_connected_graph(30, 80, seed=seed)
+        src, dst, w = edge_list_of(g)
+        idx = kernel(g.n_vertices, src, dst, w)
+        assert idx.size == g.n_vertices - 1
+        assert int(w[idx].sum()) == nx_mst_weight(g)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_forest_on_disconnected(self, kernel):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges(
+            6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5)], [3, 1, 2, 5, 7]
+        )
+        src, dst, w = edge_list_of(g)
+        idx = kernel(6, src, dst, w)
+        assert idx.size == 4  # two trees: 2 + 2 edges
+        assert int(w[idx].sum()) == 1 + 2 + 5 + 7
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_empty_input(self, kernel):
+        idx = kernel(3, np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0, np.int64))
+        assert idx.size == 0
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_endpoint_range_check(self, kernel):
+        with pytest.raises(GraphError):
+            kernel(2, np.asarray([0]), np.asarray([5]), np.asarray([1]))
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS)
+    def test_length_mismatch(self, kernel):
+        with pytest.raises(GraphError):
+            kernel(2, np.asarray([0]), np.asarray([1]), np.asarray([1, 2]))
+
+    def test_kernels_agree_on_weight(self):
+        for seed in range(5):
+            g = make_connected_graph(25, 70, seed=seed + 30)
+            src, dst, w = edge_list_of(g)
+            weights = {
+                k.__name__: int(w[k(g.n_vertices, src, dst, w)].sum())
+                for k in ALL_KERNELS
+            }
+            assert len(set(weights.values())) == 1, weights
+
+    def test_deterministic(self):
+        g = make_connected_graph(25, 70, seed=99)
+        src, dst, w = edge_list_of(g)
+        a = prim_mst(g.n_vertices, src, dst, w)
+        b = prim_mst(g.n_vertices, src, dst, w)
+        assert np.array_equal(a, b)
+
+
+class TestBoruvkaRounds:
+    def test_round_counts_decrease_geometrically(self):
+        g = make_connected_graph(60, 150, seed=1)
+        src, dst, w = edge_list_of(g)
+        _, rounds = boruvka_rounds(g.n_vertices, src, dst, w)
+        # available parallelism at least halves each round
+        for a, b in zip(rounds, rounds[1:]):
+            assert b <= (a + 1) // 2 + 1
+
+    def test_first_round_is_n_components(self):
+        g = make_connected_graph(40, 100, seed=2)
+        src, dst, w = edge_list_of(g)
+        _, rounds = boruvka_rounds(g.n_vertices, src, dst, w)
+        assert rounds[0] == g.n_vertices

@@ -1,0 +1,80 @@
+"""Tests for the alternative multi-source Voronoi kernels (SPFA and
+Δ-stepping) — they must reach the identical fixpoint as the reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.shortest_paths.multisource import (
+    compute_voronoi_cells_delta_stepping,
+    compute_voronoi_cells_spfa,
+)
+from repro.shortest_paths.voronoi import compute_voronoi_cells
+from repro.validation import validate_voronoi_diagram
+from tests.conftest import component_seeds, make_connected_graph
+
+KERNELS = [
+    compute_voronoi_cells_spfa,
+    compute_voronoi_cells_delta_stepping,
+]
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("seed", range(5))
+def test_fixpoint_matches_reference(kernel, seed):
+    g = make_connected_graph(35, 95, seed=seed + 700)
+    seeds = component_seeds(g, 4, seed=seed)
+    ref = compute_voronoi_cells(g, seeds)
+    alt = kernel(g, seeds)
+    assert np.array_equal(ref.src, alt.src)
+    assert np.array_equal(ref.dist, alt.dist)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_pred_is_canonical(kernel, random_graph):
+    from repro.shortest_paths.voronoi import canonicalize_predecessors
+
+    seeds = component_seeds(random_graph, 4, seed=1)
+    vd = kernel(random_graph, seeds)
+    expected = canonicalize_predecessors(random_graph, vd.src, vd.dist)
+    assert np.array_equal(vd.pred, expected)
+    validate_voronoi_diagram(random_graph, vd)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_single_seed(kernel, random_graph):
+    from repro.shortest_paths.dijkstra import dijkstra
+
+    vd = kernel(random_graph, [0])
+    dist, _ = dijkstra(random_graph, 0)
+    assert np.array_equal(vd.dist, dist)
+
+
+@pytest.mark.parametrize("delta", [1, 2, 5, 50, None])
+def test_delta_stepping_insensitive_to_delta(random_graph, delta):
+    seeds = component_seeds(random_graph, 4, seed=2)
+    ref = compute_voronoi_cells(random_graph, seeds)
+    alt = compute_voronoi_cells_delta_stepping(random_graph, seeds, delta)
+    assert np.array_equal(ref.src, alt.src)
+    assert np.array_equal(ref.dist, alt.dist)
+
+
+def test_delta_stepping_bad_delta(random_graph):
+    with pytest.raises(GraphError):
+        compute_voronoi_cells_delta_stepping(random_graph, [0], 0)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_weight_tie_stress(kernel):
+    """All-equal weights maximise tie-breaking pressure."""
+    from repro.graph.generators import grid_graph
+
+    g = grid_graph(7, 7)  # unit weights everywhere
+    seeds = [0, 6, 42, 48, 24]
+    ref = compute_voronoi_cells(g, seeds)
+    alt = kernel(g, seeds)
+    assert np.array_equal(ref.src, alt.src)
+    assert np.array_equal(ref.dist, alt.dist)
+    assert np.array_equal(ref.pred if alt.pred is None else alt.pred, alt.pred)

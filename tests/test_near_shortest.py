@@ -1,0 +1,123 @@
+"""Tests for the near-shortest-path exploration primitive (|S|=2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.shortest_paths.dijkstra import dijkstra, reconstruct_path
+from repro.shortest_paths.near_shortest import (
+    near_shortest_path_edges,
+    path_dag,
+    shortest_path_edges,
+)
+from tests.conftest import component_seeds, make_connected_graph
+
+
+class TestShortestPathEdges:
+    def test_contains_one_shortest_path(self, random_graph):
+        s, t = (int(x) for x in component_seeds(random_graph, 2, seed=1))
+        res = shortest_path_edges(random_graph, s, t)
+        dist, pred = dijkstra(random_graph, s)
+        path = reconstruct_path(pred, s, t)
+        path_edges = {
+            (min(a, b), max(a, b)) for a, b in zip(path, path[1:])
+        }
+        found = {(int(u), int(v)) for u, v, _ in res.edges}
+        assert path_edges <= found
+        assert res.distance == int(dist[t])
+
+    def test_every_edge_is_on_a_shortest_path(self, random_graph):
+        s, t = (int(x) for x in component_seeds(random_graph, 2, seed=2))
+        res = shortest_path_edges(random_graph, s, t)
+        ds, _ = dijkstra(random_graph, s)
+        dt, _ = dijkstra(random_graph, t)
+        for u, v, w in res.edges:
+            through = min(ds[u] + w + dt[v], ds[v] + w + dt[u])
+            assert through == res.distance
+        assert (res.slack == 0).all()
+
+    def test_diamond_includes_both_routes(self):
+        g = CSRGraph.from_edges(
+            4, [(0, 1), (1, 3), (0, 2), (2, 3)], [1, 1, 1, 1]
+        )
+        res = shortest_path_edges(g, 0, 3)
+        assert res.n_edges == 4  # both equal-cost routes
+
+    def test_vs_networkx_all_shortest_paths(self):
+        g = make_connected_graph(25, 70, weight_high=5, seed=5)
+        s, t = (int(x) for x in component_seeds(g, 2, seed=5))
+        res = shortest_path_edges(g, s, t)
+        nxg = g.to_networkx()
+        expected = set()
+        for path in nx.all_shortest_paths(nxg, s, t, weight="weight"):
+            for a, b in zip(path, path[1:]):
+                expected.add((min(a, b), max(a, b)))
+        found = {(int(u), int(v)) for u, v, _ in res.edges}
+        assert found == expected
+
+
+class TestNearShortest:
+    def test_monotone_in_epsilon(self, random_graph):
+        s, t = (int(x) for x in component_seeds(random_graph, 2, seed=3))
+        sizes = [
+            near_shortest_path_edges(random_graph, s, t, eps).n_edges
+            for eps in (0.0, 0.1, 0.5, 2.0)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_slack_within_budget(self, random_graph):
+        s, t = (int(x) for x in component_seeds(random_graph, 2, seed=4))
+        eps = 0.4
+        res = near_shortest_path_edges(random_graph, s, t, eps)
+        assert (res.slack >= 0).all()
+        assert (res.slack + res.distance <= (1 + eps) * res.distance).all()
+
+    def test_large_epsilon_captures_component_edges(self, random_graph):
+        s, t = (int(x) for x in component_seeds(random_graph, 2, seed=6))
+        res = near_shortest_path_edges(random_graph, s, t, 1e6)
+        # every edge with both endpoints reachable qualifies
+        assert res.n_edges == random_graph.n_edges
+
+    def test_vertices_contains_seeds(self, random_graph):
+        s, t = (int(x) for x in component_seeds(random_graph, 2, seed=7))
+        res = near_shortest_path_edges(random_graph, s, t, 0.2)
+        verts = set(res.vertices().tolist())
+        assert s in verts and t in verts
+
+
+class TestPathDag:
+    def test_dag_is_subgraph(self, random_graph):
+        s, t = (int(x) for x in component_seeds(random_graph, 2, seed=8))
+        sub = path_dag(random_graph, s, t, 0.3)
+        assert sub.n_vertices == random_graph.n_vertices
+        for u, v, w in sub.iter_edges():
+            assert random_graph.edge_weight(u, v) == w
+
+    def test_steiner_tree_of_two_seeds_lies_in_dag(self, random_graph):
+        from repro.core.sequential import sequential_steiner_tree
+
+        s, t = (int(x) for x in component_seeds(random_graph, 2, seed=9))
+        sub = path_dag(random_graph, s, t, 0.0)
+        tree = sequential_steiner_tree(random_graph, [s, t])
+        for u, v, _ in tree.edges:
+            assert sub.has_edge(int(u), int(v))
+
+
+class TestErrors:
+    def test_same_endpoints(self, random_graph):
+        with pytest.raises(GraphError):
+            shortest_path_edges(random_graph, 0, 0)
+
+    def test_negative_epsilon(self, random_graph):
+        with pytest.raises(GraphError):
+            near_shortest_path_edges(random_graph, 0, 1, -0.5)
+
+    def test_unreachable_target(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)], [1, 1])
+        with pytest.raises(GraphError, match="no path"):
+            shortest_path_edges(g, 0, 3)

@@ -1,0 +1,221 @@
+"""Property-based tests (Hypothesis) over the core invariants.
+
+Strategy: generate random connected weighted graphs + seed sets, then
+assert the algebraic/structural properties the paper's correctness rests
+on.  These complement the example-based tests with adversarial inputs
+(parallel edges, weight ties, stars, paths...).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import exact_steiner_tree
+from repro.core.config import SolverConfig
+from repro.core.sequential import sequential_steiner_tree
+from repro.core.solver import distributed_steiner_tree
+from repro.graph.connectivity import largest_component_vertices
+from repro.graph.csr import CSRGraph
+from repro.mst.boruvka import boruvka_mst
+from repro.mst.kruskal import kruskal_mst
+from repro.mst.prim import prim_mst
+from repro.shortest_paths.bellman_ford import bellman_ford
+from repro.shortest_paths.delta_stepping import delta_stepping
+from repro.shortest_paths.dijkstra import dijkstra
+from repro.shortest_paths.voronoi import compute_voronoi_cells
+from repro.validation import validate_steiner_tree, validate_voronoi_diagram
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def connected_graph_and_seeds(draw, max_vertices=24, max_seeds=5, max_weight=12):
+    """A connected weighted graph (path backbone + random chords, so
+    connectivity is guaranteed) and a seed set."""
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    # backbone path keeps the graph connected
+    edges = [(i, i + 1) for i in range(n - 1)]
+    n_extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(n_extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.append((u, v))
+    weights = [
+        draw(st.integers(min_value=1, max_value=max_weight)) for _ in edges
+    ]
+    g = CSRGraph.from_edges(n, np.asarray(edges, dtype=np.int64), weights)
+    k = draw(st.integers(min_value=1, max_value=min(max_seeds, n)))
+    seeds = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=k,
+            max_size=k,
+            unique=True,
+        )
+    )
+    return g, sorted(seeds)
+
+
+class TestShortestPathProperties:
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_sssp_kernels_agree(self, gs):
+        g, seeds = gs
+        src = seeds[0]
+        d1, _ = dijkstra(g, src)
+        d2, _ = bellman_ford(g, src)
+        d3, _ = delta_stepping(g, src)
+        assert np.array_equal(d1, d2)
+        assert np.array_equal(d1, d3)
+
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_triangle_inequality_over_edges(self, gs):
+        g, seeds = gs
+        dist, _ = dijkstra(g, seeds[0])
+        for u, v, w in g.iter_edges():
+            assert dist[v] <= dist[u] + w
+            assert dist[u] <= dist[v] + w
+
+
+class TestVoronoiProperties:
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_diagram_invariants(self, gs):
+        g, seeds = gs
+        vd = compute_voronoi_cells(g, seeds)
+        validate_voronoi_diagram(g, vd)
+
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_cells_cover_connected_graph(self, gs):
+        g, seeds = gs
+        vd = compute_voronoi_cells(g, seeds)
+        # backbone path makes g connected: every vertex must be claimed
+        assert vd.reached().all()
+
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_dist_below_any_single_seed_sssp(self, gs):
+        g, seeds = gs
+        vd = compute_voronoi_cells(g, seeds)
+        for s in seeds:
+            d, _ = dijkstra(g, s)
+            assert (vd.dist <= d).all()
+
+
+class TestMSTProperties:
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_kernels_agree_on_weight(self, gs):
+        g, _ = gs
+        src, dst, w = g.edge_array()
+        weights = {
+            int(w[prim_mst(g.n_vertices, src, dst, w)].sum()),
+            int(w[kruskal_mst(g.n_vertices, src, dst, w)].sum()),
+            int(w[boruvka_mst(g.n_vertices, src, dst, w)].sum()),
+        }
+        assert len(weights) == 1
+
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_mst_has_n_minus_1_edges(self, gs):
+        g, _ = gs
+        src, dst, w = g.edge_array()
+        idx = prim_mst(g.n_vertices, src, dst, w)
+        assert idx.size == g.n_vertices - 1
+
+
+class TestSteinerTreeProperties:
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_sequential_tree_is_valid(self, gs):
+        g, seeds = gs
+        res = sequential_steiner_tree(g, seeds)
+        validate_steiner_tree(g, seeds, res.edges)
+
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_distributed_equals_sequential(self, gs):
+        g, seeds = gs
+        ref = sequential_steiner_tree(g, seeds)
+        res = distributed_steiner_tree(g, seeds, config=SolverConfig(n_ranks=3))
+        assert np.array_equal(ref.edges, res.edges)
+
+    @SLOW
+    @given(connected_graph_and_seeds(max_vertices=14, max_seeds=4))
+    def test_two_approximation_bound(self, gs):
+        g, seeds = gs
+        opt = exact_steiner_tree(g, seeds)
+        res = sequential_steiner_tree(g, seeds)
+        assert opt.total_distance <= res.total_distance
+        k = len(seeds)
+        if k > 1:
+            # paper bound: 2 (1 - 1/l) <= 2 (1 - 1/|S|) is NOT the right
+            # direction; use the always-valid <= 2 (1 - 1/|S|)^{-1}-free
+            # form: D(GS) <= 2 * Dmin
+            assert res.total_distance <= 2 * opt.total_distance
+
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_tree_weight_at_most_mst_of_graph(self, gs):
+        # the Steiner tree never costs more than a spanning tree of the
+        # whole (connected) graph
+        g, seeds = gs
+        src, dst, w = g.edge_array()
+        mst_w = int(w[prim_mst(g.n_vertices, src, dst, w)].sum())
+        res = sequential_steiner_tree(g, seeds)
+        assert res.total_distance <= mst_w
+
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_monotone_in_seed_subsets(self, gs):
+        # adding seeds can only grow the optimal-ish tree weight class;
+        # we check the weaker, always-true containment property: a tree
+        # for the superset also connects the subset, so D(subset tree)
+        # <= D(superset tree) does NOT hold in general for heuristics —
+        # instead assert subset tree spans its seeds (validity only).
+        g, seeds = gs
+        if len(seeds) > 2:
+            res = sequential_steiner_tree(g, seeds[:-1])
+            validate_steiner_tree(g, seeds[:-1], res.edges)
+
+
+class TestCSRProperties:
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_io_round_trip(self, gs):
+        import io
+
+        import numpy as np
+
+        g, _ = gs
+        # in-memory npz round trip (same arrays the file format stores)
+        buf = io.BytesIO()
+        np.savez(buf, indptr=g.indptr, indices=g.indices, weights=g.weights)
+        buf.seek(0)
+        with np.load(buf) as data:
+            from repro.graph.csr import CSRGraph
+
+            back = CSRGraph(data["indptr"], data["indices"], data["weights"])
+        assert back == g
+
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_degree_sum_equals_arcs(self, gs):
+        g, _ = gs
+        assert int(g.degree().sum()) == g.n_arcs
+
+    @SLOW
+    @given(connected_graph_and_seeds())
+    def test_largest_component_is_everything(self, gs):
+        g, _ = gs
+        assert largest_component_vertices(g).size == g.n_vertices

@@ -1,0 +1,80 @@
+"""Tests for the tree path-query API on SteinerTreeResult."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sequential import sequential_steiner_tree
+from repro.shortest_paths.dijkstra import dijkstra
+from tests.conftest import component_seeds, make_connected_graph
+
+
+@pytest.fixture(scope="module")
+def tree_instance():
+    g = make_connected_graph(50, 140, seed=4000)
+    seeds = component_seeds(g, 6, seed=40)
+    return g, seeds, sequential_steiner_tree(g, seeds)
+
+
+class TestPathBetween:
+    def test_path_endpoints(self, tree_instance):
+        _, seeds, res = tree_instance
+        path = res.path_between(int(seeds[0]), int(seeds[-1]))
+        assert path[0] == int(seeds[0])
+        assert path[-1] == int(seeds[-1])
+
+    def test_consecutive_vertices_are_tree_edges(self, tree_instance):
+        _, seeds, res = tree_instance
+        edge_set = {(int(u), int(v)) for u, v, _ in res.edges}
+        path = res.path_between(int(seeds[0]), int(seeds[1]))
+        for u, v in zip(path, path[1:]):
+            assert (min(u, v), max(u, v)) in edge_set
+
+    def test_path_is_simple(self, tree_instance):
+        _, seeds, res = tree_instance
+        path = res.path_between(int(seeds[0]), int(seeds[2]))
+        assert len(path) == len(set(path))
+
+    def test_same_vertex(self, tree_instance):
+        _, seeds, res = tree_instance
+        assert res.path_between(int(seeds[0]), int(seeds[0])) == [int(seeds[0])]
+
+    def test_symmetric(self, tree_instance):
+        _, seeds, res = tree_instance
+        fwd = res.path_between(int(seeds[0]), int(seeds[3]))
+        bwd = res.path_between(int(seeds[3]), int(seeds[0]))
+        assert fwd == bwd[::-1]
+
+    def test_missing_vertex_raises(self, tree_instance):
+        g, seeds, res = tree_instance
+        outside = next(
+            v for v in range(g.n_vertices)
+            if v not in set(res.vertices().tolist())
+        )
+        with pytest.raises(KeyError):
+            res.path_between(int(seeds[0]), outside)
+
+
+class TestPathDistance:
+    def test_tree_distance_at_least_graph_distance(self, tree_instance):
+        g, seeds, res = tree_instance
+        dist, _ = dijkstra(g, int(seeds[0]))
+        for t in seeds[1:]:
+            assert res.path_distance(int(seeds[0]), int(t)) >= int(dist[t])
+
+    def test_all_seed_pairs_reachable(self, tree_instance):
+        _, seeds, res = tree_instance
+        for a in seeds:
+            for b in seeds:
+                assert res.path_distance(int(a), int(b)) >= 0
+
+    def test_distance_is_edge_sum(self, tree_instance):
+        _, seeds, res = tree_instance
+        a, b = int(seeds[0]), int(seeds[1])
+        path = res.path_between(a, b)
+        total = res.path_distance(a, b)
+        lookup = {(int(u), int(v)): int(w) for u, v, w in res.edges}
+        manual = sum(
+            lookup[(min(u, v), max(u, v))] for u, v in zip(path, path[1:])
+        )
+        assert total == manual

@@ -1,0 +1,83 @@
+"""Tests for the SciPy-accelerated Voronoi backend: bit-equality with
+the pure-Python heap sweep on every graph family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sequential import sequential_steiner_tree
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_graph
+from repro.shortest_paths.scipy_backend import compute_voronoi_cells_scipy
+from repro.shortest_paths.voronoi import (
+    canonicalize_predecessors,
+    compute_voronoi_cells,
+)
+from repro.validation import validate_voronoi_diagram
+from tests.conftest import component_seeds, make_connected_graph
+
+
+def heap_reference(graph, seeds):
+    vd = compute_voronoi_cells(graph, seeds)
+    vd.pred = canonicalize_predecessors(graph, vd.src, vd.dist)
+    return vd
+
+
+class TestBitEquality:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_graphs(self, seed):
+        g = make_connected_graph(40, 110, seed=seed + 8000)
+        seeds = component_seeds(g, 5, seed=seed)
+        a = heap_reference(g, seeds)
+        b = compute_voronoi_cells_scipy(g, seeds)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dist, b.dist)
+        assert np.array_equal(a.pred, b.pred)
+
+    def test_tie_heavy_unit_grid(self):
+        g = grid_graph(9, 9)
+        seeds = [0, 8, 72, 80, 40]
+        a = heap_reference(g, seeds)
+        b = compute_voronoi_cells_scipy(g, seeds)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.pred, b.pred)
+
+    def test_skewed_graph(self, skewed_graph):
+        seeds = component_seeds(skewed_graph, 6, seed=2)
+        a = heap_reference(skewed_graph, seeds)
+        b = compute_voronoi_cells_scipy(skewed_graph, seeds)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dist, b.dist)
+
+    def test_disconnected_graph(self):
+        g = CSRGraph.from_edges(5, [(0, 1), (2, 3)], [2, 3])
+        a = heap_reference(g, [0])
+        b = compute_voronoi_cells_scipy(g, [0])
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dist, b.dist)
+
+    def test_edgeless_graph(self):
+        g = CSRGraph.from_edges(3, np.zeros((0, 2), np.int64), [])
+        vd = compute_voronoi_cells_scipy(g, [1])
+        assert vd.src[1] == 1 and vd.dist[1] == 0
+        assert vd.src[0] == -1
+
+    def test_diagram_is_valid(self, random_graph):
+        seeds = component_seeds(random_graph, 4, seed=3)
+        vd = compute_voronoi_cells_scipy(random_graph, seeds)
+        validate_voronoi_diagram(random_graph, vd)
+
+
+class TestBackendOption:
+    def test_sequential_tree_backends_agree(self, random_graph):
+        seeds = component_seeds(random_graph, 5, seed=4)
+        heap = sequential_steiner_tree(random_graph, seeds, backend="heap")
+        scipy_res = sequential_steiner_tree(random_graph, seeds, backend="scipy")
+        assert np.array_equal(heap.edges, scipy_res.edges)
+        assert heap.total_distance == scipy_res.total_distance
+
+    def test_unknown_backend_rejected(self, random_graph):
+        seeds = component_seeds(random_graph, 3, seed=5)
+        with pytest.raises(ValueError, match="backend"):
+            sequential_steiner_tree(random_graph, seeds, backend="cuda")

@@ -1,0 +1,101 @@
+"""Unit tests for the seed-selection strategies (§V / §V-E)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SeedError
+from repro.graph.connectivity import bfs_levels, largest_component_vertices
+from repro.seeds.selection import (
+    SeedStrategy,
+    bfs_level_seeds,
+    eccentric_seeds,
+    proximate_seeds,
+    select_seeds,
+    uniform_random_seeds,
+    validate_seed_set,
+)
+from tests.conftest import make_connected_graph
+
+
+ALL_STRATEGIES = list(SeedStrategy)
+
+
+def mean_pairwise_hops(graph, seeds):
+    """Average pairwise BFS distance between seeds."""
+    total, count = 0, 0
+    for s in seeds:
+        lv = bfs_levels(graph, int(s))
+        for t in seeds:
+            if t != s:
+                total += int(lv[t])
+                count += 1
+    return total / count
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_basic_contract(self, citation_graph, strategy):
+        seeds = select_seeds(citation_graph, 8, strategy, seed=0)
+        assert seeds.size == 8
+        assert np.unique(seeds).size == 8
+        comp = set(largest_component_vertices(citation_graph).tolist())
+        assert all(int(s) in comp for s in seeds)
+        assert np.array_equal(seeds, np.sort(seeds))
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_deterministic(self, citation_graph, strategy):
+        a = select_seeds(citation_graph, 6, strategy, seed=3)
+        b = select_seeds(citation_graph, 6, strategy, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_string_strategy_accepted(self, citation_graph):
+        seeds = select_seeds(citation_graph, 4, "uniform-random", seed=1)
+        assert seeds.size == 4
+
+    def test_unknown_strategy_rejected(self, citation_graph):
+        with pytest.raises(ValueError):
+            select_seeds(citation_graph, 4, "nonsense")
+
+    def test_proximate_closer_than_eccentric(self, citation_graph):
+        prox = proximate_seeds(citation_graph, 8, seed=2)
+        ecc = eccentric_seeds(citation_graph, 8, seed=2)
+        assert mean_pairwise_hops(citation_graph, prox) < mean_pairwise_hops(
+            citation_graph, ecc
+        )
+
+    def test_bfs_level_spreads_across_levels(self, citation_graph):
+        seeds = bfs_level_seeds(citation_graph, 12, seed=4)
+        # stratified sampling should hit more than one level
+        lv = bfs_levels(citation_graph, int(seeds[0]))
+        assert len({int(lv[s]) for s in seeds}) > 1
+
+    def test_too_many_seeds(self):
+        g = make_connected_graph(20, 40, seed=0)
+        with pytest.raises(SeedError, match="cannot select"):
+            uniform_random_seeds(g, 10_000)
+
+    def test_zero_seeds(self, citation_graph):
+        with pytest.raises(SeedError):
+            uniform_random_seeds(citation_graph, 0)
+
+
+class TestValidateSeedSet:
+    def test_normalises_and_sorts(self, small_grid):
+        out = validate_seed_set(small_grid, [5, 2, 9])
+        assert list(out) == [2, 5, 9]
+
+    def test_rejects_duplicates(self, small_grid):
+        with pytest.raises(SeedError):
+            validate_seed_set(small_grid, [1, 1])
+
+    def test_rejects_empty(self, small_grid):
+        with pytest.raises(SeedError):
+            validate_seed_set(small_grid, [])
+
+    def test_rejects_out_of_range(self, small_grid):
+        with pytest.raises(SeedError):
+            validate_seed_set(small_grid, [-3])
+        with pytest.raises(SeedError):
+            validate_seed_set(small_grid, [10_000])

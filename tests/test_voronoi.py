@@ -1,0 +1,133 @@
+"""Unit tests for Voronoi-cell computation and predecessor
+canonicalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, SeedError
+from repro.shortest_paths.dijkstra import dijkstra
+from repro.shortest_paths.voronoi import (
+    INF,
+    NO_VERTEX,
+    canonicalize_predecessors,
+    compute_voronoi_cells,
+)
+from repro.validation import validate_voronoi_diagram
+from tests.conftest import component_seeds, make_connected_graph
+
+
+class TestVoronoiCells:
+    def test_invariants_random_graphs(self):
+        for seed in range(6):
+            g = make_connected_graph(40, 100, seed=seed)
+            seeds = component_seeds(g, 4, seed=seed)
+            vd = compute_voronoi_cells(g, seeds)
+            validate_voronoi_diagram(g, vd)
+
+    def test_dist_is_min_over_seeds(self, random_graph):
+        seeds = component_seeds(random_graph, 4, seed=9)
+        vd = compute_voronoi_cells(random_graph, seeds)
+        per_seed = [dijkstra(random_graph, int(s))[0] for s in seeds]
+        stacked = np.stack(per_seed)
+        expected = stacked.min(axis=0)
+        assert np.array_equal(vd.dist, expected)
+
+    def test_owner_is_min_id_among_closest(self, random_graph):
+        seeds = component_seeds(random_graph, 4, seed=9)
+        vd = compute_voronoi_cells(random_graph, seeds)
+        per_seed = {int(s): dijkstra(random_graph, int(s))[0] for s in seeds}
+        for v in range(random_graph.n_vertices):
+            if vd.src[v] == NO_VERTEX:
+                continue
+            best = min(
+                (int(d[v]), s) for s, d in per_seed.items()
+            )
+            assert (int(vd.dist[v]), int(vd.src[v])) == best
+
+    def test_cells_partition_reached(self, random_graph):
+        seeds = component_seeds(random_graph, 5, seed=2)
+        vd = compute_voronoi_cells(random_graph, seeds)
+        sizes = vd.cell_sizes()
+        assert sum(sizes.values()) == int(vd.reached().sum())
+
+    def test_seed_owns_itself(self, weighted_grid):
+        vd = compute_voronoi_cells(weighted_grid, [0, 63])
+        assert vd.src[0] == 0 and vd.dist[0] == 0
+        assert vd.src[63] == 63 and vd.dist[63] == 0
+
+    def test_single_seed_is_sssp(self, random_graph):
+        vd = compute_voronoi_cells(random_graph, [0])
+        dist, _ = dijkstra(random_graph, 0)
+        assert np.array_equal(vd.dist, dist)
+        assert (vd.src[vd.reached()] == 0).all()
+
+    def test_path_to_seed(self, weighted_grid):
+        vd = compute_voronoi_cells(weighted_grid, [0, 63])
+        path = vd.path_to_seed(35)
+        assert path[0] == 35
+        assert path[-1] == vd.src[35]
+
+    def test_path_to_seed_unreached(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges(4, [(0, 1), (2, 3)], [1, 1])
+        vd = compute_voronoi_cells(g, [0])
+        with pytest.raises(GraphError):
+            vd.path_to_seed(3)
+
+    def test_seed_validation(self, small_grid):
+        with pytest.raises(SeedError):
+            compute_voronoi_cells(small_grid, [])
+        with pytest.raises(SeedError):
+            compute_voronoi_cells(small_grid, [0, 0])
+        with pytest.raises(SeedError):
+            compute_voronoi_cells(small_grid, [-1])
+        with pytest.raises(SeedError):
+            compute_voronoi_cells(small_grid, [999])
+
+    def test_deterministic(self, skewed_graph):
+        seeds = component_seeds(skewed_graph, 6, seed=0)
+        a = compute_voronoi_cells(skewed_graph, seeds)
+        b = compute_voronoi_cells(skewed_graph, seeds)
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.pred, b.pred)
+        assert np.array_equal(a.dist, b.dist)
+
+
+class TestCanonicalPredecessors:
+    def test_canonical_pred_is_valid(self):
+        for seed in range(4):
+            g = make_connected_graph(35, 90, seed=seed + 20)
+            seeds = component_seeds(g, 4, seed=seed)
+            vd = compute_voronoi_cells(g, seeds)
+            pred = canonicalize_predecessors(g, vd.src, vd.dist)
+            vd.pred = pred
+            validate_voronoi_diagram(g, vd)
+
+    def test_canonical_pred_is_min_tight_neighbor(self, random_graph):
+        seeds = component_seeds(random_graph, 3, seed=5)
+        vd = compute_voronoi_cells(random_graph, seeds)
+        pred = canonicalize_predecessors(random_graph, vd.src, vd.dist)
+        for v in range(random_graph.n_vertices):
+            if vd.src[v] == NO_VERTEX or vd.src[v] == v:
+                assert pred[v] == NO_VERTEX
+                continue
+            tight = [
+                int(u)
+                for u in random_graph.neighbors(v)
+                if vd.src[u] == vd.src[v]
+                and vd.dist[u] != INF
+                and vd.dist[u] + random_graph.edge_weight(int(u), v) == vd.dist[v]
+            ]
+            assert tight, f"no tight in-neighbour for {v}"
+            assert pred[v] == min(tight)
+
+    def test_canonical_pred_idempotent_under_input_pred(self, random_graph):
+        # result depends only on (src, dist), not on the incoming pred
+        seeds = component_seeds(random_graph, 4, seed=6)
+        vd = compute_voronoi_cells(random_graph, seeds)
+        p1 = canonicalize_predecessors(random_graph, vd.src, vd.dist)
+        p2 = canonicalize_predecessors(random_graph, vd.src, vd.dist)
+        assert np.array_equal(p1, p2)
