@@ -36,7 +36,6 @@ from repro.core.result import SteinerTreeResult
 from repro.errors import DisconnectedSeedsError, SeedError
 from repro.graph.csr import CSRGraph
 from repro.seeds.selection import validate_seed_set
-from repro.shortest_paths.dijkstra import INF
 
 __all__ = ["exact_steiner_tree", "MAX_EXACT_SEEDS"]
 

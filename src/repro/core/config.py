@@ -57,6 +57,15 @@ class SolverConfig:
         overhead (biggest win when hub vertices fan out).  Off by
         default so the headline numbers model unaggregated visitors;
         the aggregation ablation turns it on.
+    voronoi_backend:
+        ``None`` (default) simulates the Voronoi Cell phase on the
+        message-driven engine — the paper-faithful path that produces
+        the per-phase message counts behind Figs. 3-6.  Any registered
+        name from :mod:`repro.shortest_paths.backends` (``"dijkstra"``,
+        ``"delta-numpy"``, ``"scipy"``, ...) instead computes the
+        identical ``(src, pred, dist)`` fixpoint with that sequential
+        kernel and charges only wall time for the phase — the fast path
+        for workloads that need the tree, not the message trace.
     """
 
     n_ranks: int = 16
@@ -69,6 +78,7 @@ class SolverConfig:
     max_events: Optional[int] = None
     collective_chunk_elements: Optional[int] = None
     aggregate_remote_messages: bool = False
+    voronoi_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
@@ -81,3 +91,8 @@ class SolverConfig:
         ):
             raise ValueError("collective_chunk_elements must be >= 1")
         object.__setattr__(self, "discipline", QueueDiscipline(self.discipline))
+        if self.voronoi_backend is not None:
+            # fail fast on typos rather than deep inside solve()
+            from repro.shortest_paths.backends import get_backend
+
+            get_backend(self.voronoi_backend)

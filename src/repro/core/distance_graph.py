@@ -35,7 +35,7 @@ import numpy as np
 
 from repro.runtime.cost_model import MachineModel
 from repro.runtime.partition import PartitionedGraph
-from repro.shortest_paths.voronoi import INF, NO_VERTEX
+from repro.shortest_paths.voronoi import NO_VERTEX
 
 __all__ = ["DistanceGraph", "build_distance_graph", "local_min_edge_costs"]
 

@@ -25,12 +25,12 @@ from repro.errors import DisconnectedSeedsError
 from repro.mst.prim import prim_mst
 from repro.mst.union_find import UnionFind
 from repro.seeds.selection import validate_seed_set
-from repro.shortest_paths.voronoi import (
-    canonicalize_predecessors,
-    compute_voronoi_cells,
-)
+from repro.shortest_paths.backends import get_backend
 
 __all__ = ["sequential_steiner_tree"]
+
+#: historical names predating the backend registry
+_BACKEND_ALIASES = {"heap": "dijkstra"}
 
 
 def sequential_steiner_tree(
@@ -46,10 +46,12 @@ def sequential_steiner_tree(
     Parameters
     ----------
     backend:
-        Voronoi-cell kernel: ``"heap"`` (pure Python reference, default)
-        or ``"scipy"`` (compiled multi-source Dijkstra, several times
-        faster on large graphs, bit-identical output — see
-        :mod:`repro.shortest_paths.scipy_backend`).
+        Voronoi-cell kernel — any name registered in
+        :mod:`repro.shortest_paths.backends` (``"dijkstra"``,
+        ``"delta-numpy"``, ``"scipy"``, ...).  ``"heap"`` is kept as an
+        alias for the ``"dijkstra"`` reference.  Every backend yields
+        the identical diagram, hence the identical tree; the choice is
+        purely a performance decision.
 
     Raises
     ------
@@ -61,15 +63,7 @@ def sequential_steiner_tree(
     k = seeds_arr.size
 
     # Step 1: Voronoi cells (src, pred, dist per vertex)
-    if backend == "scipy":
-        from repro.shortest_paths.scipy_backend import compute_voronoi_cells_scipy
-
-        vd = compute_voronoi_cells_scipy(graph, seeds_arr)
-    elif backend == "heap":
-        vd = compute_voronoi_cells(graph, seeds_arr)
-        vd.pred = canonicalize_predecessors(graph, vd.src, vd.dist)
-    else:
-        raise ValueError(f"unknown backend {backend!r}; use 'heap' or 'scipy'")
+    vd = get_backend(_BACKEND_ALIASES.get(backend, backend))(graph, seeds_arr)
 
     # Step 2: distance graph G'1 with bridging edges
     dg = build_distance_graph(graph, seeds_arr, vd.src, vd.dist)

@@ -9,9 +9,16 @@ Subcommands
 ``all [--quick]``
     Run the full evaluation sweep (every table and figure), printing
     each report — the command behind EXPERIMENTS.md.
-``solve --dataset LVJ --seeds 30 [--ranks 16] [--queue priority]``
+``solve --dataset LVJ --seeds 30 [--ranks 16] [--queue priority]
+[--backend simulate|dijkstra|delta-numpy|scipy|...]``
     One-off solve on a stand-in dataset, printing the tree summary and
-    the phase breakdown.
+    the phase breakdown.  ``--backend simulate`` (default) runs the
+    message-driven Voronoi phase; any registered shortest-path backend
+    name computes the identical tree via that sequential kernel.
+``backends [--bench] [--dataset LVJ] [--seeds 30]``
+    List the registered multi-source shortest-path backends; with
+    ``--bench``, time each one on the chosen instance and verify they
+    agree bit-for-bit.
 """
 
 from __future__ import annotations
@@ -60,15 +67,59 @@ def _cmd_solve(args) -> int:
 
     graph = load_dataset(args.dataset)
     seeds = select_seeds(graph, args.seeds, args.strategy, seed=args.seed)
-    solver = DistributedSteinerSolver(
-        graph, SolverConfig(n_ranks=args.ranks, discipline=args.queue)
-    )
-    res = solver.solve(seeds)
+    backend = None if args.backend == "simulate" else args.backend
+    try:
+        config = SolverConfig(
+            n_ranks=args.ranks, discipline=args.queue, voronoi_backend=backend
+        )
+    except ValueError as exc:  # e.g. a typo'd --backend name
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    res = DistributedSteinerSolver(graph, config).solve(seeds)
     print(res.summary())
     for p in res.phases:
         print(
             f"  {p.name:<24} {fmt_time(p.sim_time):>8}  "
             f"msgs={fmt_si(p.n_messages)}"
+        )
+    return 0
+
+
+def _cmd_backends(args) -> int:
+    from repro.shortest_paths.backends import backend_help, compute_multisource
+
+    help_by_name = backend_help()
+    if not args.bench:
+        for name, text in help_by_name.items():
+            print(f"{name:16s} {text}")
+        return 0
+
+    from repro.harness.datasets import load_dataset
+    from repro.harness.reporting import fmt_time
+    from repro.seeds.selection import select_seeds
+
+    graph = load_dataset(args.dataset)
+    seeds = select_seeds(graph, args.seeds, "bfs-level", seed=args.seed)
+    # one run per backend: the same results are both timed and checked
+    # for bit-equality, so every speedup is consistent (reference = 1.0x)
+    results = {
+        name: compute_multisource(graph, seeds, backend=name)
+        for name in help_by_name
+    }
+    ref = next(iter(results.values()))
+    for res in results.values():
+        if not ref.agrees_with(res):
+            print(f"error: backend {res.backend!r} disagrees with {ref.backend!r}")
+            return 1
+    print(
+        f"{args.dataset}: |V|={graph.n_vertices} 2|E|={graph.n_arcs} "
+        f"|S|={len(seeds)} — all backends agree bit-for-bit"
+    )
+    for name, res in results.items():
+        speedup = ref.elapsed_s / res.elapsed_s if res.elapsed_s else float("inf")
+        print(
+            f"{name:16s} {fmt_time(res.elapsed_s):>8}  "
+            f"{speedup:5.1f}x vs {ref.backend}"
         )
     return 0
 
@@ -109,7 +160,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="bfs-level",
     )
     p_solve.add_argument("--seed", type=int, default=1, help="RNG seed")
+    p_solve.add_argument(
+        "--backend",
+        default="simulate",
+        help="Voronoi phase: 'simulate' (message-driven engine, default) "
+        "or a registered shortest-path backend name "
+        "(see `repro-steiner backends`)",
+    )
     p_solve.set_defaults(func=_cmd_solve)
+
+    p_back = sub.add_parser(
+        "backends", help="list/bench the shortest-path backends"
+    )
+    p_back.add_argument(
+        "--bench", action="store_true", help="time each backend on one instance"
+    )
+    p_back.add_argument("--dataset", default="LVJ")
+    p_back.add_argument("--seeds", type=int, default=30)
+    p_back.add_argument("--seed", type=int, default=1, help="RNG seed")
+    p_back.set_defaults(func=_cmd_backends)
     return parser
 
 

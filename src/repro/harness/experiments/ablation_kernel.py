@@ -23,6 +23,7 @@ from repro.shortest_paths.multisource import (
     compute_voronoi_cells_delta_stepping,
     compute_voronoi_cells_spfa,
 )
+from repro.shortest_paths.vectorized import compute_voronoi_cells_delta_numpy
 from repro.shortest_paths.voronoi import compute_voronoi_cells
 
 EXP_ID = "ablation-kernel"
@@ -32,6 +33,7 @@ _KERNELS = [
     ("Dijkstra-order (reference)", compute_voronoi_cells),
     ("SPFA / Bellman-Ford (paper's distributed basis)", compute_voronoi_cells_spfa),
     ("Delta-stepping (Ceccarello-style)", compute_voronoi_cells_delta_stepping),
+    ("Delta-stepping (vectorised NumPy)", compute_voronoi_cells_delta_numpy),
 ]
 
 

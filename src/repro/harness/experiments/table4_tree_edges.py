@@ -12,7 +12,7 @@ scaled seed count exceeds what the component supports.
 from __future__ import annotations
 
 from repro.errors import SeedError
-from repro.harness.datasets import DATASETS, SEED_COUNTS, load_dataset
+from repro.harness.datasets import SEED_COUNTS, load_dataset
 from repro.harness.experiments._shared import ExperimentReport, solve
 from repro.harness.reporting import render_table
 

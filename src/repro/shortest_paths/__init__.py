@@ -6,6 +6,16 @@ the expensive step of the KMB algorithm — with Voronoi-cell computation
 classic single-source kernels used by baselines, tests and ablations.
 """
 
+from repro.shortest_paths.backends import (
+    DEFAULT_BACKEND,
+    MultiSourceResult,
+    available_backends,
+    backend_help,
+    compute_multisource,
+    get_backend,
+    register_backend,
+    verify_backends_agree,
+)
 from repro.shortest_paths.dijkstra import dijkstra, dijkstra_to_targets
 from repro.shortest_paths.bellman_ford import bellman_ford
 from repro.shortest_paths.voronoi import (
@@ -27,22 +37,32 @@ from repro.shortest_paths.near_shortest import (
     shortest_path_edges,
 )
 from repro.shortest_paths.scipy_backend import compute_voronoi_cells_scipy
+from repro.shortest_paths.vectorized import compute_voronoi_cells_delta_numpy
 
 __all__ = [
+    "DEFAULT_BACKEND",
     "INF",
+    "MultiSourceResult",
     "NO_VERTEX",
     "NearShortestResult",
     "VoronoiDiagram",
+    "available_backends",
+    "backend_help",
     "bellman_ford",
+    "compute_multisource",
     "compute_voronoi_cells",
+    "compute_voronoi_cells_delta_numpy",
     "compute_voronoi_cells_delta_stepping",
     "compute_voronoi_cells_scipy",
     "compute_voronoi_cells_spfa",
     "delta_stepping",
     "dijkstra",
     "dijkstra_to_targets",
+    "get_backend",
     "near_shortest_path_edges",
     "path_dag",
+    "register_backend",
     "seed_pairs_apsp",
     "shortest_path_edges",
+    "verify_backends_agree",
 ]

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.errors import SeedError
 from repro.graph.csr import CSRGraph
-from repro.shortest_paths.dijkstra import INF, dijkstra_to_targets
+from repro.shortest_paths.dijkstra import dijkstra_to_targets
 
 __all__ = ["seed_pairs_apsp"]
 

@@ -1,0 +1,221 @@
+"""Vectorised multi-source Δ-stepping on the raw CSR arrays.
+
+The reference multi-source kernels (:mod:`repro.shortest_paths.voronoi`,
+:mod:`repro.shortest_paths.multisource`) relax one edge per Python
+bytecode loop iteration, even though :class:`~repro.graph.csr.CSRGraph`
+already stores the adjacency as flat NumPy arrays.  This module runs the
+Meyer–Sanders Δ-stepping schedule with *bucket-wide* NumPy relaxations:
+
+* the frontier of the current bucket is a vertex array, not a Python
+  set;
+* all out-arcs of the frontier are gathered in one shot (``np.repeat``
+  over the CSR offsets — no per-vertex slicing);
+* the lexicographic ``(dist, owner)`` winner per target vertex is
+  selected with a single ``np.lexsort`` + first-occurrence reduction,
+  replacing the per-edge compare-and-swap.
+
+Per bucket phase the Python interpreter executes O(1) statements; all
+per-edge work happens inside compiled NumPy kernels.  On the ~100K-arc
+generator graphs this is an order of magnitude faster than the heap
+reference (see ``benchmarks/bench_backends.py``).
+
+Determinism: the kernel converges to the same unique lexicographic
+``(dist, owner)`` fixpoint as every other kernel in the library — the
+smaller-seed-id tie-break — and predecessors are rewritten by the shared
+:func:`~repro.shortest_paths.voronoi.canonicalize_predecessors` pass, so
+the output is bit-for-bit identical to the reference (property-tested in
+``tests/test_backends.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.shortest_paths.voronoi import (
+    INF,
+    NO_VERTEX,
+    VoronoiDiagram,
+    _validate_seeds,
+    canonicalize_predecessors,
+)
+
+__all__ = ["compute_voronoi_cells_delta_numpy", "default_delta"]
+
+
+def default_delta(graph: CSRGraph) -> int:
+    """Bucket width heuristic for the vectorised kernel.
+
+    The kernel batches a whole bucket per NumPy call, so its cost is
+    ``(number of relaxation waves) x (cost per wave)``.  Narrow buckets
+    mean more buckets but much shorter light-edge fixpoint iterations
+    inside each (fewer duplicated relaxations reach the packed-key
+    reduction), which measures fastest across the generator families:
+    Δ = mean/4 beats both the textbook Δ ≈ mean and a single giant
+    bucket (chaotic Bellman–Ford) by 10-40% on the 100K-edge graphs
+    (see ``benchmarks/bench_backends.py``).
+    """
+    if graph.n_arcs == 0:
+        return 1
+    return max(1, int(graph.weights.mean()) // 4)
+
+
+def _out_arcs(
+    frontier: np.ndarray,
+    indptr: np.ndarray,
+    degrees: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Arc ids of every out-arc of ``frontier``, plus the repeated tails.
+
+    Pure index arithmetic: for frontier vertex ``u`` with CSR range
+    ``[indptr[u], indptr[u+1])`` the arc ids are that range; all ranges
+    are materialised with one ``np.repeat`` and one ``np.arange``.
+    """
+    counts = degrees[frontier]
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    ends = np.cumsum(counts)
+    # arc id = indptr[u] + (position within u's segment)
+    arc_ids = (
+        np.repeat(indptr[frontier] - (ends - counts), counts)
+        + np.arange(total, dtype=np.int64)
+    )
+    tails = np.repeat(frontier, counts)
+    return arc_ids, tails
+
+
+_KEY_SENTINEL = np.iinfo(np.int64).max
+
+
+def _relax(
+    arc_ids: np.ndarray,
+    tails: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    dist: np.ndarray,
+    src: np.ndarray,
+    pending: np.ndarray,
+) -> None:
+    """One vectorised relaxation wave over ``arc_ids``.
+
+    Candidate per arc: ``(dist[tail] + w, src[tail])`` for the head
+    vertex.  Candidates that do not improve the head's current
+    ``(dist, owner)`` state are dropped up front; among the survivors
+    the per-head lexicographic minimum is found by packing the pair
+    into one int64 key ``nd * n + owner`` (owner < n keeps the packing
+    order-preserving) and reducing with ``np.minimum.at`` — numpy's
+    indexed-loop fast path, orders of magnitude cheaper than a lexsort.
+    Falls back to the sort-based reduction if the packed key could
+    overflow (astronomical distances).
+    """
+    if arc_ids.size == 0:
+        return
+    heads = indices[arc_ids]
+    nd = dist[tails] + weights[arc_ids]
+    owner = src[tails]
+
+    better = (nd < dist[heads]) | ((nd == dist[heads]) & (owner < src[heads]))
+    heads, nd, owner = heads[better], nd[better], owner[better]
+    if heads.size == 0:
+        return
+
+    n = np.int64(dist.size)
+    if int(nd.max()) <= (_KEY_SENTINEL - int(n)) // int(n):
+        best = np.full(dist.size, _KEY_SENTINEL, dtype=np.int64)
+        np.minimum.at(best, heads, nd * n + owner)
+        winners = np.nonzero(best != _KEY_SENTINEL)[0]
+        win_nd = best[winners] // n
+        dist[winners] = win_nd
+        src[winners] = best[winners] - win_nd * n
+        pending[winners] = True
+        return
+
+    order = np.lexsort((owner, nd, heads))  # pragma: no cover - overflow path
+    heads, nd, owner = heads[order], nd[order], owner[order]
+    first = np.ones(heads.size, dtype=bool)
+    first[1:] = heads[1:] != heads[:-1]
+    heads, nd, owner = heads[first], nd[first], owner[first]
+    dist[heads] = nd
+    src[heads] = owner
+    pending[heads] = True
+
+
+def compute_voronoi_cells_delta_numpy(
+    graph: CSRGraph,
+    seeds: Sequence[int],
+    delta: int | None = None,
+) -> VoronoiDiagram:
+    """Voronoi diagram via vectorised multi-source Δ-stepping.
+
+    Drop-in replacement for
+    :func:`repro.shortest_paths.voronoi.compute_voronoi_cells` with the
+    canonical predecessor assignment (the registry contract); same
+    ``(dist, src)`` fixpoint, NumPy bucket relaxations instead of a
+    per-edge Python loop.
+
+    Parameters
+    ----------
+    delta:
+        Bucket width; defaults to :func:`default_delta`.
+    """
+    seeds_arr = _validate_seeds(graph, seeds)
+    n = graph.n_vertices
+    if delta is None:
+        delta = default_delta(graph)
+    if delta < 1:
+        raise GraphError("delta must be >= 1")
+
+    indptr, indices, weights = graph.indptr, graph.indices, graph.weights
+    degrees = np.diff(indptr)
+    light = weights <= delta
+
+    dist = np.full(n, INF, dtype=np.int64)
+    src = np.full(n, NO_VERTEX, dtype=np.int64)
+    dist[seeds_arr] = 0
+    src[seeds_arr] = seeds_arr
+    pending = np.zeros(n, dtype=bool)
+    pending[seeds_arr] = True
+
+    while True:
+        pending_ids = np.nonzero(pending)[0]
+        if pending_ids.size == 0:
+            break
+        b = int(dist[pending_ids].min()) // delta
+        lo = b * delta
+        hi = lo + delta
+
+        # light-edge phase: iterate until the bucket stops changing
+        # (owner-only improvements re-enter the same bucket)
+        settled: list[np.ndarray] = []
+        while True:
+            in_bucket = pending_ids[
+                (dist[pending_ids] >= lo) & (dist[pending_ids] < hi)
+            ]
+            if in_bucket.size == 0:
+                break
+            pending[in_bucket] = False
+            settled.append(in_bucket)
+            arc_ids, tails = _out_arcs(in_bucket, indptr, degrees)
+            keep = light[arc_ids]
+            _relax(
+                arc_ids[keep], tails[keep], indices, weights, dist, src, pending
+            )
+            pending_ids = np.nonzero(pending)[0]
+
+        # heavy-edge phase: once, from the vertices that settled in b
+        settled_arr = np.unique(np.concatenate(settled)) if settled else None
+        if settled_arr is not None:
+            settled_arr = settled_arr[dist[settled_arr] // delta == b]
+            arc_ids, tails = _out_arcs(settled_arr, indptr, degrees)
+            keep = ~light[arc_ids]
+            _relax(
+                arc_ids[keep], tails[keep], indices, weights, dist, src, pending
+            )
+
+    pred = canonicalize_predecessors(graph, src, dist)
+    return VoronoiDiagram(seeds=seeds_arr, src=src, pred=pred, dist=dist)

@@ -3,7 +3,6 @@ agreement with the exact solver and with networkx."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 import networkx as nx

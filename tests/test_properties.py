@@ -9,7 +9,6 @@ on.  These complement the example-based tests with adversarial inputs
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

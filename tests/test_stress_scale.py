@@ -4,7 +4,6 @@ further)."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.config import SolverConfig

@@ -16,7 +16,7 @@ from repro.validation import (
     validate_steiner_tree,
     validate_voronoi_diagram,
 )
-from tests.conftest import component_seeds, make_connected_graph
+from tests.conftest import component_seeds
 
 
 def path_graph(n=5, w=2):
