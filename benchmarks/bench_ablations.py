@@ -22,12 +22,12 @@ from repro.shortest_paths.voronoi import compute_voronoi_cells
 K = 30
 
 
-@pytest.mark.parametrize("engine", ["async", "bsp"])
+@pytest.mark.parametrize("engine", ["async-heap", "bsp", "bsp-batched"])
 def test_async_vs_bsp(benchmark, seeds_cache, engine):
     graph = load_dataset("LVJ")
     seeds = seeds_cache("LVJ", K)
     solver = DistributedSteinerSolver(
-        graph, SolverConfig(n_ranks=16, bsp=(engine == "bsp"))
+        graph, SolverConfig(n_ranks=16, engine=engine)
     )
     result = benchmark.pedantic(solver.solve, args=(seeds,), rounds=1, iterations=1)
     benchmark.group = "ablation async-vs-bsp LVJ"

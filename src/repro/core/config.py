@@ -33,9 +33,19 @@ class SolverConfig:
         (HavoqGT vertex-cut).  ``None`` disables delegates.
     machine:
         Cost-model constants for the simulation.
+    engine:
+        Runtime engine the message-driven phases execute on — any name
+        registered in :mod:`repro.runtime.engines`: ``"async-heap"``
+        (asynchronous event engine, the paper-faithful default),
+        ``"bsp"`` (per-message bulk-synchronous supersteps, the §IV
+        ablation baseline) or ``"bsp-batched"`` (vectorised supersteps —
+        identical semantics and message counts to ``"bsp"``, NumPy
+        array operations instead of per-message Python).  Every engine
+        converges to the identical Steiner tree.
     bsp:
-        Run phases on the bulk-synchronous engine instead of the
-        asynchronous one (ablation §IV discusses why async wins).
+        Deprecated alias: ``bsp=True`` selects ``engine="bsp"``.  After
+        construction the field reflects whether the chosen engine is
+        bulk-synchronous.
     collect_diagram:
         Attach the full Voronoi diagram arrays to the result (useful for
         inspection/tests; costs O(|V|) memory in the result object).
@@ -73,6 +83,7 @@ class SolverConfig:
     partition: str = "block"
     delegate_threshold: Optional[int] = None
     machine: MachineModel = field(default_factory=MachineModel)
+    engine: str = "async-heap"
     bsp: bool = False
     collect_diagram: bool = False
     max_events: Optional[int] = None
@@ -91,6 +102,14 @@ class SolverConfig:
         ):
             raise ValueError("collective_chunk_elements must be >= 1")
         object.__setattr__(self, "discipline", QueueDiscipline(self.discipline))
+        # the legacy bsp flag is an alias for engine="bsp"; afterwards
+        # the field mirrors whether the engine is bulk-synchronous
+        from repro.runtime.engines import get_engine as _get_engine
+
+        if self.bsp and self.engine == "async-heap":
+            object.__setattr__(self, "engine", "bsp")
+        _get_engine(self.engine)  # fail fast on typos
+        object.__setattr__(self, "bsp", self.engine.startswith("bsp"))
         if self.voronoi_backend is not None:
             # fail fast on typos rather than deep inside solve()
             from repro.shortest_paths.backends import get_backend

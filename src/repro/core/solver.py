@@ -12,6 +12,11 @@ Orchestrates the six phases over the simulated runtime:
    allreduce for per-pair uniqueness;
 6. ``Steiner Tree Edge``     — async predecessor walks (Alg. 6, DES).
 
+The message-driven phases (1 and 6) execute on the runtime engine
+selected by ``SolverConfig.engine`` — any name registered in
+:mod:`repro.runtime.engines` (``async-heap``, ``bsp``,
+``bsp-batched``); every engine converges to the identical tree.
+
 The solver reports, per phase, the simulated parallel time and message
 counts — the exact quantities behind the paper's Figs. 3-6 — plus a
 cluster-wide memory estimate (Fig. 8) and the tree itself.
@@ -35,7 +40,8 @@ from repro.core.voronoi_visitor import VoronoiProgram
 from repro.errors import DisconnectedSeedsError
 from repro.mst.prim import prim_mst
 from repro.mst.union_find import UnionFind
-from repro.runtime.engine import AsyncEngine, BSPEngine, PhaseStats
+from repro.runtime.engine import PhaseStats
+from repro.runtime.engines import make_engine
 from repro.runtime.memory import estimate_memory
 from repro.runtime.partition import block_partition, hash_partition
 from repro.seeds.selection import validate_seed_set
@@ -89,15 +95,13 @@ class DistributedSteinerSolver:
         k = seeds_arr.size
         phases: list[PhaseStats] = []
 
-        if cfg.bsp:
-            engine = BSPEngine(self.partition, machine, cfg.discipline)
-        else:
-            engine = AsyncEngine(
-                self.partition,
-                machine,
-                cfg.discipline,
-                aggregate_remote=cfg.aggregate_remote_messages,
-            )
+        engine = make_engine(
+            cfg.engine,
+            self.partition,
+            machine,
+            cfg.discipline,
+            aggregate_remote=cfg.aggregate_remote_messages,
+        )
 
         # ---- Phase 1: Voronoi Cell (Alg. 4) --------------------------- #
         # Either simulate the asynchronous message-driven kernel (the
@@ -111,11 +115,8 @@ class DistributedSteinerSolver:
                 PHASE_NAMES[0],
                 program,
                 list(program.initial_messages(seeds_arr)),
-                **(
-                    {"max_events": cfg.max_events}
-                    if not cfg.bsp and cfg.max_events
-                    else {}
-                ),
+                # 0 means uncapped, as it always has (falsy-guard legacy)
+                max_events=cfg.max_events or None,
             )
             src, dist = program.src, program.dist
             pred = canonicalize_predecessors(self.graph, src, dist)

@@ -82,6 +82,48 @@ class TreeEdgeProgram:
         """Unused: tree-edge walks are vertex-addressed only."""
         raise AssertionError("tree-edge walks never address ranks")
 
+    # ------------------------------------------------------------------ #
+    # batch protocol (bsp-batched engine): one superstep = array ops
+    # ------------------------------------------------------------------ #
+    batch_payload_width = 1
+
+    def batch_encode(self, target: int, payload: Tuple) -> Tuple[int]:
+        """Payload as an int row: the walked vertex itself."""
+        return payload
+
+    def batch_visit(self, targets, payload, emitter) -> None:
+        """One superstep of predecessor hops over message arrays.
+
+        Duplicate arrivals at a vertex within a superstep collapse to
+        one hop (the ``collected`` guard absorbs the rest), so a unique
+        pass over the targets is exactly the scalar semantics.  The
+        collected set — hence the edge set — is order-independent.
+        """
+        v = np.unique(targets)
+        live = (self.src[v] != v) & ~self.collected[v]
+        v = v[live]
+        if v.size == 0:
+            return
+        self.collected[v] = True
+        p = self.pred[v]
+        w = self.dist[v] - self.dist[p]
+        lo, hi = np.minimum(p, v), np.maximum(p, v)
+        self.edges.extend(
+            (int(a), int(b), int(c)) for a, b, c in zip(lo, hi, w)
+        )
+        walk = p != self.src[v]
+        if walk.any():
+            out = p[walk].astype(np.int64)
+            emitter.emit(
+                self.part.owner[v[walk]].astype(np.int64),
+                out,
+                out.reshape(-1, 1),
+            )
+
+    def batch_visit_rank(self, ranks, payload, emitter) -> None:
+        """Unused: tree-edge walks are vertex-addressed only."""
+        raise AssertionError("tree-edge walks never address ranks")
+
 
 def walk_tree_edges(
     src: np.ndarray,

@@ -84,6 +84,22 @@ class VoronoiProgram:
             return float(payload[3])
         return float(payload[2])
 
+    def sort_key(self, payload: Tuple) -> Tuple[int, int, int]:
+        """Total in-superstep order for the BSP engines: the candidate's
+        full lexicographic rank ``(r, t, vp)``.
+
+        With a *total* order, a superstep accepts exactly one candidate
+        per vertex — the lexicographic-minimum improving one — which is
+        the per-vertex reduction the batched engine computes with array
+        operations; the scalar priority alone would leave ``r``-ties in
+        arrival order and admit order-dependent extra acceptances.
+        """
+        if payload[0] == "expand":
+            _, u, t, r = payload
+            return (r, t, u)
+        vp, t, r = payload
+        return (r, t, vp)
+
     # ------------------------------------------------------------------ #
     def visit(
         self, vertex: int, payload: Tuple, emit: Callable[[int, Tuple], None]
@@ -127,3 +143,121 @@ class VoronoiProgram:
         indptr, indices, weights = self._indptr, self._indices, self._weights
         for i in range(indptr[u], indptr[u + 1]):
             emit(int(indices[i]), (u, t, int(r + weights[i])))
+
+    # ------------------------------------------------------------------ #
+    # batch protocol (bsp-batched engine): one superstep = array ops
+    # ------------------------------------------------------------------ #
+    batch_payload_width = 3
+
+    def batch_encode(self, target: int, payload: Tuple) -> Tuple[int, int, int]:
+        """Payload as an int row: ``(vp, t, r)`` / expand ``(u, t, r)``
+        (the target's sign already distinguishes the two forms)."""
+        if payload[0] == "expand":
+            return (payload[1], payload[2], payload[3])
+        return payload
+
+    def batch_visit(self, targets, payload, emitter) -> None:
+        """One superstep of relaxations over message arrays.
+
+        Per vertex, a superstep under the total :meth:`sort_key` order
+        accepts exactly the lexicographic-minimum improving candidate
+        (every later candidate compares ``>=`` the adopted state, so the
+        improvement test fails) — computed here as a sorted per-vertex
+        reduction instead of one Python callback per message.
+        """
+        vp, t, r = payload[:, 0], payload[:, 1], payload[:, 2]
+        # seed bootstrap messages expand unconditionally (Alg. 3 init)
+        boot = (vp == targets) & (t == targets) & (r == 0)
+        cand = ~boot
+        acc_v = acc_t = acc_r = np.zeros(0, dtype=np.int64)
+        if cand.any():
+            tgt_c, vp_c, t_c, r_c = targets[cand], vp[cand], t[cand], r[cand]
+            # per-vertex lexicographic minimum of (r, t, vp): sort by
+            # (tgt, r, t, vp) and keep each vertex's first row.  (A
+            # packed np.minimum.at reduction would need (r, t, vp) to
+            # fit one int64, which astronomical weights rule out.)
+            order = np.lexsort((vp_c, t_c, r_c, tgt_c))
+            tgt_s = tgt_c[order]
+            first = np.ones(tgt_s.size, dtype=bool)
+            first[1:] = tgt_s[1:] != tgt_s[:-1]
+            sel = order[first]
+            v, rv, tv, pv = tgt_c[sel], r_c[sel], t_c[sel], vp_c[sel]
+            improve = (rv < self.dist[v]) | (
+                (rv == self.dist[v]) & (tv < self.src[v])
+            )
+            acc_v, acc_r, acc_t, acc_p = (
+                v[improve], rv[improve], tv[improve], pv[improve],
+            )
+            self.dist[acc_v] = acc_r
+            self.src[acc_v] = acc_t
+            self.pred[acc_v] = acc_p
+        self._batch_expand(
+            np.concatenate([targets[boot], acc_v]),
+            np.concatenate([t[boot], acc_t]),
+            np.concatenate([r[boot], acc_r]),
+            emitter,
+        )
+
+    def batch_visit_rank(self, ranks, payload, emitter) -> None:
+        """Delegate slice expansions (hub vertices are few, so the outer
+        loop is per message; the arc scan itself is vectorised)."""
+        indptr, indices, weights = self._indptr, self._indices, self._weights
+        arc_rank = self.part.arc_rank
+        for rank, (u, t, r) in zip(ranks, payload):
+            arcs = np.arange(indptr[u], indptr[u + 1], dtype=np.int64)
+            arcs = arcs[arc_rank[arcs] == rank]
+            if arcs.size:
+                out = np.empty((arcs.size, 3), dtype=np.int64)
+                out[:, 0] = u
+                out[:, 1] = t
+                out[:, 2] = r + weights[arcs]
+                emitter.emit(
+                    np.full(arcs.size, rank, dtype=np.int64),
+                    indices[arcs].astype(np.int64),
+                    out,
+                )
+
+    def _batch_expand(self, vs, ts, rs, emitter) -> None:
+        """Vectorised :meth:`_expand` for every adopting vertex at once:
+        neighbour targets gathered with ``np.repeat`` over CSR rows."""
+        if vs.size == 0:
+            return
+        part = self.part
+        owner = part.owner
+        if part.delegates.size:
+            deleg = part.delegate_mask(vs)
+            for v, t, r in zip(vs[deleg], ts[deleg], rs[deleg]):
+                slices = part.slice_ranks(int(v))
+                out = np.empty((slices.size, 3), dtype=np.int64)
+                out[:, 0] = v
+                out[:, 1] = t
+                out[:, 2] = r
+                emitter.emit(
+                    np.full(slices.size, owner[v], dtype=np.int64),
+                    -slices.astype(np.int64) - 1,
+                    out,
+                )
+            vs, ts, rs = vs[~deleg], ts[~deleg], rs[~deleg]
+            if vs.size == 0:
+                return
+        indptr = self._indptr
+        starts = indptr[vs].astype(np.int64)
+        counts = (indptr[vs + 1] - indptr[vs]).astype(np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            return
+        offsets = np.cumsum(counts) - counts
+        arc_idx = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(offsets, counts)
+            + np.repeat(starts, counts)
+        )
+        out = np.empty((total, 3), dtype=np.int64)
+        out[:, 0] = np.repeat(vs, counts)
+        out[:, 1] = np.repeat(ts, counts)
+        out[:, 2] = np.repeat(rs, counts) + self._weights[arc_idx]
+        emitter.emit(
+            np.repeat(owner[vs], counts).astype(np.int64),
+            self._indices[arc_idx].astype(np.int64),
+            out,
+        )

@@ -10,15 +10,21 @@ Subcommands
     Run the full evaluation sweep (every table and figure), printing
     each report — the command behind EXPERIMENTS.md.
 ``solve --dataset LVJ --seeds 30 [--ranks 16] [--queue priority]
+[--engine async-heap|bsp|bsp-batched]
 [--backend simulate|dijkstra|delta-numpy|scipy|...]``
     One-off solve on a stand-in dataset, printing the tree summary and
-    the phase breakdown.  ``--backend simulate`` (default) runs the
-    message-driven Voronoi phase; any registered shortest-path backend
-    name computes the identical tree via that sequential kernel.
+    the phase breakdown.  ``--engine`` picks the runtime engine the
+    message-driven phases execute on; ``--backend simulate`` (default)
+    runs the message-driven Voronoi phase; any registered shortest-path
+    backend name computes the identical tree via that sequential kernel.
 ``backends [--bench] [--dataset LVJ] [--seeds 30]``
     List the registered multi-source shortest-path backends; with
     ``--bench``, time each one on the chosen instance and verify they
     agree bit-for-bit.
+``engines [--bench] [--dataset LVJ] [--seeds 30] [--ranks 16]``
+    List the registered runtime engines; with ``--bench``, solve the
+    chosen instance on each engine, verify the trees are identical and
+    report per-engine wall/simulated time and message counts.
 """
 
 from __future__ import annotations
@@ -40,9 +46,29 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    import inspect
+
+    from repro.harness.registry import get_runner
+    from repro.runtime.engines import get_engine
+
+    engine = getattr(args, "engine", "async-heap")
+    try:
+        get_engine(engine)  # fail fast, before any experiment runs
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     for exp_id in args.experiment:
+        if (
+            engine != "async-heap"
+            and "engine" not in inspect.signature(get_runner(exp_id)).parameters
+        ):
+            print(
+                f"note: {exp_id} does not thread --engine; "
+                f"it runs on its default runtime",
+                file=sys.stderr,
+            )
         t0 = time.perf_counter()
-        report = run_experiment(exp_id, quick=args.quick)
+        report = run_experiment(exp_id, quick=args.quick, engine=engine)
         if getattr(args, "json", False):
             print(report.to_json())
         else:
@@ -70,9 +96,12 @@ def _cmd_solve(args) -> int:
     backend = None if args.backend == "simulate" else args.backend
     try:
         config = SolverConfig(
-            n_ranks=args.ranks, discipline=args.queue, voronoi_backend=backend
+            n_ranks=args.ranks,
+            discipline=args.queue,
+            engine=args.engine,
+            voronoi_backend=backend,
         )
-    except ValueError as exc:  # e.g. a typo'd --backend name
+    except ValueError as exc:  # e.g. a typo'd --backend/--engine name
         print(f"error: {exc}", file=sys.stderr)
         return 2
     res = DistributedSteinerSolver(graph, config).solve(seeds)
@@ -124,6 +153,48 @@ def _cmd_backends(args) -> int:
     return 0
 
 
+def _cmd_engines(args) -> int:
+    from repro.runtime.engines import engine_help
+
+    help_by_name = engine_help()
+    if not args.bench:
+        for name, text in help_by_name.items():
+            print(f"{name:16s} {text}")
+        return 0
+
+    from repro.harness.datasets import load_dataset
+    from repro.harness.experiments._shared import solve_on_engines
+    from repro.harness.reporting import fmt_si, fmt_time
+    from repro.seeds.selection import select_seeds
+
+    graph = load_dataset(args.dataset)
+    seeds = select_seeds(graph, args.seeds, "bfs-level", seed=args.seed)
+    # one solve per engine: the shared helper both times the runs and
+    # checks tree identity, so every reported speedup is verified-correct
+    try:
+        runs = solve_on_engines(graph, seeds, n_ranks=args.ranks)
+    except AssertionError as exc:
+        print(f"error: {exc}")
+        return 1
+    results = {name: res for name, (res, _) in runs.items()}
+    walls = {name: wall for name, (_, wall) in runs.items()}
+    ref_name = next(iter(results))
+    print(
+        f"{args.dataset}: |V|={graph.n_vertices} 2|E|={graph.n_arcs} "
+        f"|S|={len(seeds)} ranks={args.ranks} — all engines produce the "
+        f"identical tree"
+    )
+    for name, res in results.items():
+        speedup = walls[ref_name] / walls[name] if walls[name] else float("inf")
+        print(
+            f"{name:16s} wall {fmt_time(walls[name]):>8}  "
+            f"sim {fmt_time(res.sim_time()):>8}  "
+            f"msgs={fmt_si(res.message_count()):>8}  "
+            f"{speedup:5.1f}x vs {ref_name}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro-steiner`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -141,10 +212,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
     )
+    p_run.add_argument(
+        "--engine",
+        default="async-heap",
+        help="runtime engine, forwarded to experiments that accept it "
+        "(see `repro-steiner engines`)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_all = sub.add_parser("all", help="run the full evaluation sweep")
     p_all.add_argument("--quick", action="store_true")
+    p_all.add_argument("--engine", default="async-heap", help="runtime engine")
     p_all.set_defaults(func=_cmd_all)
 
     p_solve = sub.add_parser("solve", help="solve one instance")
@@ -160,6 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="bfs-level",
     )
     p_solve.add_argument("--seed", type=int, default=1, help="RNG seed")
+    p_solve.add_argument(
+        "--engine",
+        default="async-heap",
+        help="runtime engine for the message-driven phases "
+        "(see `repro-steiner engines`)",
+    )
     p_solve.add_argument(
         "--backend",
         default="simulate",
@@ -179,6 +263,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_back.add_argument("--seeds", type=int, default=30)
     p_back.add_argument("--seed", type=int, default=1, help="RNG seed")
     p_back.set_defaults(func=_cmd_backends)
+
+    p_eng = sub.add_parser(
+        "engines", help="list/bench the runtime engines"
+    )
+    p_eng.add_argument(
+        "--bench", action="store_true", help="time each engine on one instance"
+    )
+    p_eng.add_argument("--dataset", default="LVJ")
+    p_eng.add_argument("--seeds", type=int, default=30)
+    p_eng.add_argument("--ranks", type=int, default=16)
+    p_eng.add_argument("--seed", type=int, default=1, help="RNG seed")
+    p_eng.set_defaults(func=_cmd_engines)
     return parser
 
 

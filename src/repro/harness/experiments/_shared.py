@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.config import SolverConfig
 from repro.core.result import SteinerTreeResult
@@ -13,7 +14,13 @@ from repro.harness.datasets import load_dataset
 from repro.runtime.queues import QueueDiscipline
 from repro.seeds.selection import select_seeds
 
-__all__ = ["ExperimentReport", "solve", "seeds_for", "phase_times"]
+__all__ = [
+    "ExperimentReport",
+    "phase_times",
+    "seeds_for",
+    "solve",
+    "solve_on_engines",
+]
 
 
 def _jsonable(obj: Any) -> Any:
@@ -93,3 +100,45 @@ def solve(
 def phase_times(result: SteinerTreeResult) -> dict[str, float]:
     """``{phase name: sim seconds}`` in Alg. 3 order."""
     return {p.name: p.sim_time for p in result.phases}
+
+
+def solve_on_engines(
+    graph,
+    seeds,
+    *,
+    n_ranks: int = 16,
+    engines: Sequence[str] | None = None,
+    **config_kwargs,
+) -> dict[str, tuple[SteinerTreeResult, float]]:
+    """Solve one instance on every runtime engine, wall-timing each run.
+
+    The registry's parity contract is enforced before anything is
+    returned: every engine must produce the bit-identical tree (raises
+    :class:`AssertionError` otherwise), so the timings are always
+    verified-correct runs.  Returns ``{engine: (result, wall_seconds)}``
+    in registry order; shared by the async-vs-BSP ablation and the
+    ``repro-steiner engines --bench`` report.
+    """
+    import numpy as np
+
+    from repro.runtime.engines import available_engines
+
+    names = list(engines) if engines is not None else available_engines()
+    results: dict[str, tuple[SteinerTreeResult, float]] = {}
+    reference: SteinerTreeResult | None = None
+    for engine in names:
+        solver = DistributedSteinerSolver(
+            graph, SolverConfig(n_ranks=n_ranks, engine=engine, **config_kwargs)
+        )
+        t0 = time.perf_counter()
+        res = solver.solve(seeds)
+        wall = time.perf_counter() - t0
+        if reference is None:
+            reference = res
+        elif not (
+            np.array_equal(reference.edges, res.edges)
+            and reference.total_distance == res.total_distance
+        ):
+            raise AssertionError(f"engine {engine!r} changed the output tree")
+        results[engine] = (res, wall)
+    return results

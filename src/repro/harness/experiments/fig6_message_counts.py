@@ -25,19 +25,22 @@ TITLE = "FIFO vs priority queue: message counts by phase"
 _ASYNC_PHASES = ("Voronoi Cell", "Local Min Dist. Edge", "Steiner Tree Edge")
 
 
-def run(quick: bool = False) -> ExperimentReport:
+def run(quick: bool = False, engine: str = "async-heap") -> ExperimentReport:
     """Run this experiment; ``quick=True`` shrinks the sweep for
-    test-suite use (see the module docstring for the paper claim
-    being reproduced)."""
+    test-suite use, ``engine`` selects the runtime engine from
+    :mod:`repro.runtime.engines` (see the module docstring for the
+    paper claim being reproduced)."""
     datasets = ["LVJ"] if quick else list(_CONFIGS)
     k = SEED_COUNTS[_PAPER_K]
     report = ExperimentReport(EXP_ID, TITLE)
+    if engine != "async-heap":
+        report.notes.append(f"runtime engine: {engine}")
     raw: dict[str, dict] = {}
 
     headers = ["dataset", "queue"] + list(_ASYNC_PHASES) + ["total", "reduction"]
     rows = []
     for ds in datasets:
-        fifo, prio = run_pair(ds, k, _CONFIGS[ds])
+        fifo, prio = run_pair(ds, k, _CONFIGS[ds], engine)
         counts = {}
         for label, res in (("FIFO", fifo), ("Priority", prio)):
             per_phase = {p.name: p.n_messages for p in res.phases}

@@ -51,6 +51,19 @@ def get_runner(exp_id: str) -> Callable[..., ExperimentReport]:
     return module.run
 
 
-def run_experiment(exp_id: str, *, quick: bool = False) -> ExperimentReport:
-    """Run one experiment and return its report."""
-    return get_runner(exp_id)(quick=quick)
+def run_experiment(
+    exp_id: str, *, quick: bool = False, **kwargs
+) -> ExperimentReport:
+    """Run one experiment and return its report.
+
+    Extra keyword arguments (e.g. ``engine=`` for the runs that thread
+    the runtime-engine choice through) are forwarded only when the
+    experiment's ``run`` accepts them, so sweep commands can pass a
+    global option without every experiment opting in.
+    """
+    import inspect
+
+    runner = get_runner(exp_id)
+    accepted = inspect.signature(runner).parameters
+    kwargs = {k: v for k, v in kwargs.items() if k in accepted}
+    return runner(quick=quick, **kwargs)

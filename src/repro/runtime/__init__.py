@@ -13,6 +13,11 @@ cores are available in this environment, so this package provides a
   events to simulated seconds;
 * :mod:`~repro.runtime.engine` — the asynchronous event engine (plus a
   bulk-synchronous variant for the BSP ablation);
+* :mod:`~repro.runtime.engine_batched` — the vectorised BSP engine
+  (array-at-a-time supersteps over the partitioned CSR);
+* :mod:`~repro.runtime.engines` — the pluggable engine registry
+  (``async-heap`` / ``bsp`` / ``bsp-batched``, selected via
+  ``SolverConfig(engine=...)``);
 * :mod:`~repro.runtime.collectives` — simulated ``MPI_Allreduce``;
 * :mod:`~repro.runtime.memory` — the cluster-wide memory accounting used
   to reproduce Fig. 8.
@@ -26,13 +31,35 @@ experiment is preserved.
 from repro.runtime.cost_model import MachineModel
 from repro.runtime.partition import PartitionedGraph, block_partition, hash_partition
 from repro.runtime.queues import QueueDiscipline
-from repro.runtime.engine import AsyncEngine, BSPEngine, PhaseStats, VertexProgram
+from repro.runtime.engine import (
+    AsyncEngine,
+    BSPEngine,
+    EngineBase,
+    PhaseStats,
+    VertexProgram,
+)
+from repro.runtime.engine_batched import BSPBatchedEngine
+from repro.runtime.engines import (
+    DEFAULT_ENGINE,
+    EngineResult,
+    available_engines,
+    engine_help,
+    get_engine,
+    make_engine,
+    register_engine,
+    run_phase_with,
+    verify_engines_agree,
+)
 from repro.runtime.collectives import allreduce_min_time, allreduce_elementwise_min
 from repro.runtime.memory import MemoryReport, estimate_memory
 
 __all__ = [
     "AsyncEngine",
+    "BSPBatchedEngine",
     "BSPEngine",
+    "DEFAULT_ENGINE",
+    "EngineBase",
+    "EngineResult",
     "MachineModel",
     "MemoryReport",
     "PartitionedGraph",
@@ -41,7 +68,14 @@ __all__ = [
     "VertexProgram",
     "allreduce_elementwise_min",
     "allreduce_min_time",
+    "available_engines",
     "block_partition",
+    "engine_help",
     "estimate_memory",
+    "get_engine",
     "hash_partition",
+    "make_engine",
+    "register_engine",
+    "run_phase_with",
+    "verify_engines_agree",
 ]

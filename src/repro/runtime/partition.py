@@ -78,6 +78,10 @@ class PartitionedGraph:
         """True iff ``v``'s adjacency is striped across ranks."""
         return bool(self._is_delegate[v])
 
+    def delegate_mask(self, vertices: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`is_delegate` (used by the batched engine)."""
+        return self._is_delegate[vertices]
+
     def local_vertex_count(self) -> np.ndarray:
         """``int64[n_ranks]`` vertices owned per rank."""
         return np.bincount(self.owner, minlength=self.n_ranks).astype(np.int64)
