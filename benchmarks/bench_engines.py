@@ -22,7 +22,18 @@ measured speedup drops below ``(1 - tolerance)`` times the baseline
 speedup (default tolerance 20%), or — with ``--min-speedup`` — below an
 absolute floor (the acceptance target is >=3x on the 100K-edge full
 suite; quick-suite graphs are too small to amortise array overhead, so
-the floor there is correspondingly lower).
+the floor there is correspondingly lower).  The multiprocess ``bsp-mp``
+engine is gated the same way against its own baseline entry and the
+``--min-speedup-mp`` absolute floor (the CI job uses 1.5x at the
+default 2-worker pool) — its counters must additionally match ``bsp``
+exactly, which is asserted before any timing is recorded.
+
+Determinism: every graph is built from fixed generator seeds, seeds are
+drawn from a fixed RNG, engines iterate in registry order (default
+first, rest alphabetical) and the ``bsp-mp`` pool size is an explicit
+knob (``--workers``, default: the engine's fixed ``DEFAULT_WORKERS``) —
+so everything in two bench logs except the wall-clock columns is
+identical line-for-line.
 """
 
 from __future__ import annotations
@@ -47,8 +58,9 @@ from repro.runtime.engines import (
 )
 from repro.runtime.partition import block_partition
 
-#: the engine whose speedup is gated, and its reference
+#: the engines whose speedups are gated, and their shared reference
 GATED_ENGINE = "bsp-batched"
+MP_ENGINE = "bsp-mp"
 REFERENCE_ENGINE = "bsp"
 
 #: simulated world size for every run (the paper's ranks-per-node)
@@ -97,7 +109,9 @@ def pick_seeds(graph, k: int, rng_seed: int = 1) -> np.ndarray:
     return np.sort(rng.choice(comp, size=min(k, comp.size), replace=False))
 
 
-def bench_graph(name: str, builder, k: int, repeats: int) -> dict:
+def bench_graph(
+    name: str, builder, k: int, repeats: int, workers: int | None
+) -> dict:
     """Time every engine on one graph; returns the per-graph record."""
     graph = builder()
     seeds = pick_seeds(graph, k)
@@ -107,22 +121,24 @@ def bench_graph(name: str, builder, k: int, repeats: int) -> dict:
         return VoronoiProgram(partition)
 
     # never record numbers for wrong answers: states must be identical,
-    # and the BSP pair must agree on message counts exactly
+    # and the whole BSP family must agree on message counts exactly
     verified = verify_engines_agree(
         partition,
         fresh_program,
         lambda prog: prog.initial_messages(seeds),
         lambda prog: (prog.src, prog.dist),
+        workers=workers,
     )
     ref_stats = verified[REFERENCE_ENGINE].stats
-    gated_stats = verified[GATED_ENGINE].stats
-    if (ref_stats.n_messages_local, ref_stats.n_messages_remote) != (
-        gated_stats.n_messages_local,
-        gated_stats.n_messages_remote,
-    ):
-        raise AssertionError(
-            f"{GATED_ENGINE} message counts diverged from {REFERENCE_ENGINE}"
-        )
+    for gated in (GATED_ENGINE, MP_ENGINE):
+        gated_stats = verified[gated].stats
+        if (ref_stats.n_messages_local, ref_stats.n_messages_remote) != (
+            gated_stats.n_messages_local,
+            gated_stats.n_messages_remote,
+        ):
+            raise AssertionError(
+                f"{gated} message counts diverged from {REFERENCE_ENGINE}"
+            )
 
     engines: dict[str, dict] = {}
     for engine in available_engines():
@@ -135,12 +151,14 @@ def bench_graph(name: str, builder, k: int, repeats: int) -> dict:
                 prog,
                 list(prog.initial_messages(seeds)),
                 name="Voronoi Cell",
+                workers=workers,
             )
             if best is None or result.elapsed_s < best["seconds"]:
                 best = {
                     "seconds": round(result.elapsed_s, 6),
                     "messages": result.stats.n_messages,
                     "supersteps": result.n_supersteps,
+                    "workers": result.workers,
                 }
         engines[engine] = best
     ref = engines[REFERENCE_ENGINE]["seconds"]
@@ -150,11 +168,13 @@ def bench_graph(name: str, builder, k: int, repeats: int) -> dict:
     print(f"{name}: |V|={graph.n_vertices} |E|={graph.n_edges} |S|={seeds.size}")
     for engine, record in engines.items():
         ss = record["supersteps"]
+        w = record["workers"]
         print(
             f"  {engine:14s} {record['seconds'] * 1e3:9.2f} ms"
             f"  {record['speedup']:6.2f}x vs {REFERENCE_ENGINE}"
             f"  msgs={record['messages']}"
             + (f" supersteps={ss}" if ss is not None else "")
+            + (f" workers={w}" if w is not None else "")
         )
     return {
         "n_vertices": graph.n_vertices,
@@ -170,29 +190,41 @@ def check_baseline(
     baseline_path: Path,
     tolerance: float,
     min_speedup: float | None,
+    min_speedup_mp: float | None,
 ) -> int:
-    """Gate: fail when the batched engine's speedup regressed."""
+    """Gate: fail when a gated engine's speedup regressed.
+
+    Each gated engine (``bsp-batched``, ``bsp-mp``) is compared against
+    its own baseline entry; a graph/engine pair absent from the baseline
+    is skipped (lets the baseline trail new suites by one PR).
+    """
     baseline = json.loads(baseline_path.read_text())
     failures = []
+    gates = ((GATED_ENGINE, min_speedup), (MP_ENGINE, min_speedup_mp))
     for name, record in results.items():
         base_graph = baseline.get("results", {}).get(name)
         if base_graph is None:
             print(f"[check] {name}: no baseline entry, skipping")
             continue
-        base = base_graph["engines"][GATED_ENGINE]["speedup"]
-        measured = record["engines"][GATED_ENGINE]["speedup"]
-        floor = base * (1.0 - tolerance)
-        if min_speedup is not None:
-            floor = max(floor, min_speedup)
-        status = "OK" if measured >= floor else "REGRESSED"
-        print(
-            f"[check] {name}: {GATED_ENGINE} speedup {measured:.2f}x "
-            f"(baseline {base:.2f}x, floor {floor:.2f}x) {status}"
-        )
-        if measured < floor:
-            failures.append(name)
+        for engine, abs_floor in gates:
+            base_engine = base_graph["engines"].get(engine)
+            if base_engine is None:
+                print(f"[check] {name}: no {engine} baseline, skipping")
+                continue
+            base = base_engine["speedup"]
+            measured = record["engines"][engine]["speedup"]
+            floor = base * (1.0 - tolerance)
+            if abs_floor is not None:
+                floor = max(floor, abs_floor)
+            status = "OK" if measured >= floor else "REGRESSED"
+            print(
+                f"[check] {name}: {engine} speedup {measured:.2f}x "
+                f"(baseline {base:.2f}x, floor {floor:.2f}x) {status}"
+            )
+            if measured < floor:
+                failures.append(f"{name}:{engine}")
     if failures:
-        print(f"[check] FAILED: {GATED_ENGINE} regressed on {failures}")
+        print(f"[check] FAILED: regressions on {failures}")
         return 1
     print("[check] passed")
     return 0
@@ -223,11 +255,21 @@ def main(argv: list[str] | None = None) -> int:
         help="absolute speedup floor for the gated engine (acceptance "
         "target: 3.0 on the full suite)",
     )
+    parser.add_argument(
+        "--min-speedup-mp", type=float, default=None,
+        help="absolute speedup floor for the bsp-mp engine vs bsp "
+        "(CI gate: 1.5 at the default 2-worker pool)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="bsp-mp process-pool size (default: the engine's fixed "
+        "DEFAULT_WORKERS, for run-to-run reproducibility)",
+    )
     args = parser.parse_args(argv)
 
     suite = "quick" if args.quick else "full"
     results = {
-        name: bench_graph(name, builder, k, args.repeats)
+        name: bench_graph(name, builder, k, args.repeats, args.workers)
         for name, (builder, k) in SUITES[suite].items()
     }
     payload = {
@@ -238,6 +280,7 @@ def main(argv: list[str] | None = None) -> int:
             "machine": platform.machine(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "gated_engine": GATED_ENGINE,
+            "mp_engine": MP_ENGINE,
             "reference_engine": REFERENCE_ENGINE,
         },
         "results": results,
@@ -247,7 +290,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check is not None:
         return check_baseline(
-            results, args.check, args.tolerance, args.min_speedup
+            results,
+            args.check,
+            args.tolerance,
+            args.min_speedup,
+            args.min_speedup_mp,
         )
     return 0
 

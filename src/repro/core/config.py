@@ -38,10 +38,18 @@ class SolverConfig:
         registered in :mod:`repro.runtime.engines`: ``"async-heap"``
         (asynchronous event engine, the paper-faithful default),
         ``"bsp"`` (per-message bulk-synchronous supersteps, the §IV
-        ablation baseline) or ``"bsp-batched"`` (vectorised supersteps —
+        ablation baseline), ``"bsp-batched"`` (vectorised supersteps —
         identical semantics and message counts to ``"bsp"``, NumPy
-        array operations instead of per-message Python).  Every engine
-        converges to the identical Steiner tree.
+        array operations instead of per-message Python) or ``"bsp-mp"``
+        (the batched supersteps sharded across a pool of forked worker
+        processes — true cross-rank parallelism, same counts again).
+        Every engine converges to the identical Steiner tree.
+    workers:
+        Process-pool size for the ``"bsp-mp"`` engine: ``None`` (the
+        engine's reproducible default, currently 2), or an explicit
+        count >= 1 (capped at ``n_ranks``; ``1`` forces the in-process
+        fallback).  Accepted and ignored by the in-process engines, so
+        configurations stay valid across engine switches.
     bsp:
         Deprecated alias: ``bsp=True`` selects ``engine="bsp"``.  After
         construction the field reflects whether the chosen engine is
@@ -84,6 +92,7 @@ class SolverConfig:
     delegate_threshold: Optional[int] = None
     machine: MachineModel = field(default_factory=MachineModel)
     engine: str = "async-heap"
+    workers: Optional[int] = None
     bsp: bool = False
     collect_diagram: bool = False
     max_events: Optional[int] = None
@@ -101,6 +110,8 @@ class SolverConfig:
             and self.collective_chunk_elements < 1
         ):
             raise ValueError("collective_chunk_elements must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for the default)")
         object.__setattr__(self, "discipline", QueueDiscipline(self.discipline))
         # the legacy bsp flag is an alias for engine="bsp"; afterwards
         # the field mirrors whether the engine is bulk-synchronous

@@ -124,6 +124,40 @@ class TreeEdgeProgram:
         """Unused: tree-edge walks are vertex-addressed only."""
         raise AssertionError("tree-edge walks never address ranks")
 
+    # ------------------------------------------------------------------ #
+    # mp protocol (bsp-mp engine): replicate, shard, gather
+    # ------------------------------------------------------------------ #
+    def mp_clone_payload(self) -> dict:
+        """Worker replicas need the (phase-1 output) ``src/pred/dist``
+        arrays plus the visited guard; replicas start with an empty
+        ``edges`` list, so the driver's already-collected edges are
+        never duplicated by the merge."""
+        return {
+            "src": self.src,
+            "pred": self.pred,
+            "dist": self.dist,
+            "collected": np.nonzero(self.collected)[0],
+        }
+
+    @classmethod
+    def mp_materialize(cls, partition, payload: dict) -> "TreeEdgeProgram":
+        prog = cls(partition, payload["src"], payload["pred"], payload["dist"])
+        prog.collected[payload["collected"]] = True
+        return prog
+
+    def mp_collect(self, owned: np.ndarray) -> dict:
+        """Visited marks of owned vertices plus every edge this replica
+        recorded (a hop is recorded by the walked vertex's owner, so
+        worker edge lists are disjoint)."""
+        return {
+            "collected": owned[self.collected[owned]],
+            "edges": list(self.edges),
+        }
+
+    def mp_merge(self, collected: dict) -> None:
+        self.collected[collected["collected"]] = True
+        self.edges.extend(collected["edges"])
+
 
 def walk_tree_edges(
     src: np.ndarray,

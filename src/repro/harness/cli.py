@@ -10,21 +10,27 @@ Subcommands
     Run the full evaluation sweep (every table and figure), printing
     each report — the command behind EXPERIMENTS.md.
 ``solve --dataset LVJ --seeds 30 [--ranks 16] [--queue priority]
-[--engine async-heap|bsp|bsp-batched]
+[--engine async-heap|bsp|bsp-batched|bsp-mp] [--workers N]
 [--backend simulate|dijkstra|delta-numpy|scipy|...]``
     One-off solve on a stand-in dataset, printing the tree summary and
     the phase breakdown.  ``--engine`` picks the runtime engine the
-    message-driven phases execute on; ``--backend simulate`` (default)
-    runs the message-driven Voronoi phase; any registered shortest-path
-    backend name computes the identical tree via that sequential kernel.
+    message-driven phases execute on (``--workers`` sizes the
+    ``bsp-mp`` process pool); ``--backend simulate`` (default) runs the
+    message-driven Voronoi phase; any registered shortest-path backend
+    name computes the identical tree via that sequential kernel.
 ``backends [--bench] [--dataset LVJ] [--seeds 30]``
     List the registered multi-source shortest-path backends; with
     ``--bench``, time each one on the chosen instance and verify they
     agree bit-for-bit.
-``engines [--bench] [--dataset LVJ] [--seeds 30] [--ranks 16]``
+``engines [--bench] [--dataset LVJ] [--seeds 30] [--ranks 16]
+[--workers N]``
     List the registered runtime engines; with ``--bench``, solve the
     chosen instance on each engine, verify the trees are identical and
-    report per-engine wall/simulated time and message counts.
+    report per-engine wall/simulated time and message counts.  The
+    bench is deterministic apart from the wall-clock column: seeded
+    seed selection, registry order fixed (default engine first, rest
+    alphabetical) and a fixed ``bsp-mp`` pool size, so the counters in
+    two CI logs are comparable line-for-line.
 """
 
 from __future__ import annotations
@@ -68,7 +74,12 @@ def _cmd_run(args) -> int:
                 file=sys.stderr,
             )
         t0 = time.perf_counter()
-        report = run_experiment(exp_id, quick=args.quick, engine=engine)
+        report = run_experiment(
+            exp_id,
+            quick=args.quick,
+            engine=engine,
+            workers=getattr(args, "workers", None),
+        )
         if getattr(args, "json", False):
             print(report.to_json())
         else:
@@ -99,6 +110,7 @@ def _cmd_solve(args) -> int:
             n_ranks=args.ranks,
             discipline=args.queue,
             engine=args.engine,
+            workers=args.workers,
             voronoi_backend=backend,
         )
     except ValueError as exc:  # e.g. a typo'd --backend/--engine name
@@ -172,17 +184,29 @@ def _cmd_engines(args) -> int:
     # one solve per engine: the shared helper both times the runs and
     # checks tree identity, so every reported speedup is verified-correct
     try:
-        runs = solve_on_engines(graph, seeds, n_ranks=args.ranks)
+        runs = solve_on_engines(
+            graph, seeds, n_ranks=args.ranks, workers=args.workers
+        )
     except AssertionError as exc:
         print(f"error: {exc}")
         return 1
     results = {name: res for name, (res, _) in runs.items()}
     walls = {name: wall for name, (_, wall) in runs.items()}
     ref_name = next(iter(results))
+    from repro.runtime.engine_mp import DEFAULT_WORKERS, fork_available
+
+    # report the *effective* pool size (ranks cap, no-fork fallback),
+    # not the requested one — the header is CI-log provenance
+    pool = min(
+        args.workers if args.workers is not None else DEFAULT_WORKERS,
+        args.ranks,
+    )
+    if pool > 1 and not fork_available():
+        pool = 1
     print(
         f"{args.dataset}: |V|={graph.n_vertices} 2|E|={graph.n_arcs} "
-        f"|S|={len(seeds)} ranks={args.ranks} — all engines produce the "
-        f"identical tree"
+        f"|S|={len(seeds)} ranks={args.ranks} bsp-mp-workers={pool} — "
+        f"all engines produce the identical tree"
     )
     for name, res in results.items():
         speedup = walls[ref_name] / walls[name] if walls[name] else float("inf")
@@ -218,11 +242,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="runtime engine, forwarded to experiments that accept it "
         "(see `repro-steiner engines`)",
     )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="bsp-mp process-pool size, forwarded like --engine",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_all = sub.add_parser("all", help="run the full evaluation sweep")
     p_all.add_argument("--quick", action="store_true")
     p_all.add_argument("--engine", default="async-heap", help="runtime engine")
+    p_all.add_argument(
+        "--workers", type=int, default=None, help="bsp-mp process-pool size"
+    )
     p_all.set_defaults(func=_cmd_all)
 
     p_solve = sub.add_parser("solve", help="solve one instance")
@@ -243,6 +276,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="async-heap",
         help="runtime engine for the message-driven phases "
         "(see `repro-steiner engines`)",
+    )
+    p_solve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for --engine bsp-mp (default: the "
+        "engine's reproducible default; 1 forces in-process execution)",
     )
     p_solve.add_argument(
         "--backend",
@@ -274,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_eng.add_argument("--seeds", type=int, default=30)
     p_eng.add_argument("--ranks", type=int, default=16)
     p_eng.add_argument("--seed", type=int, default=1, help="RNG seed")
+    p_eng.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="bsp-mp process-pool size used in the bench",
+    )
     p_eng.set_defaults(func=_cmd_engines)
     return parser
 

@@ -116,8 +116,11 @@ def solve_on_engines(
     returned: every engine must produce the bit-identical tree (raises
     :class:`AssertionError` otherwise), so the timings are always
     verified-correct runs.  Returns ``{engine: (result, wall_seconds)}``
-    in registry order; shared by the async-vs-BSP ablation and the
-    ``repro-steiner engines --bench`` report.
+    in registry order (default engine first, rest alphabetical — a
+    deterministic iteration order, so two bench logs line up); shared by
+    the async-vs-BSP ablation and the ``repro-steiner engines --bench``
+    report.  Extra keyword arguments (``workers=...``, ``discipline=``,
+    ...) reach every run's :class:`~repro.core.config.SolverConfig`.
     """
     import numpy as np
 

@@ -48,11 +48,23 @@ from repro.errors import SimulationError
 from repro.runtime.engine import BSPEngine, PhaseStats, VertexProgram
 from repro.runtime.queues import QueueDiscipline
 
-__all__ = ["BSPBatchedEngine", "BatchEmitter", "supports_batch"]
+__all__ = [
+    "BSPBatchedEngine",
+    "BatchEmitter",
+    "run_batch_superstep",
+    "supports_batch",
+]
 
 
 def supports_batch(program: VertexProgram) -> bool:
-    """True iff the program implements the vectorised superstep hooks."""
+    """True iff the program implements the vectorised superstep hooks.
+
+    >>> class Plain:
+    ...     def priority(self, payload):
+    ...         return 0.0
+    >>> supports_batch(Plain())
+    False
+    """
     return all(
         hasattr(program, attr)
         for attr in ("batch_payload_width", "batch_encode", "batch_visit")
@@ -95,8 +107,48 @@ class BatchEmitter:
         )
 
 
+def run_batch_superstep(
+    program: VertexProgram,
+    targets: np.ndarray,
+    payload: np.ndarray,
+    width: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Execute one superstep's message arrays through ``program``.
+
+    Splits the inbox into rank-addressed (``target < 0``) and
+    vertex-addressed messages, runs the program's batch hooks, and
+    returns the drained emissions ``(src_ranks, out_targets,
+    out_payload)``.  This is the *pure* computation of a superstep —
+    no engine accounting — shared verbatim by the in-process batched
+    engine and the ``bsp-mp`` worker processes, which is what makes
+    their emissions (and hence every counter) identical by
+    construction.
+    """
+    emitter = BatchEmitter(width)
+    is_rank = targets < 0
+    if is_rank.any():
+        program.batch_visit_rank(
+            -targets[is_rank] - 1, payload[is_rank], emitter
+        )
+    vmask = ~is_rank
+    if vmask.any():
+        program.batch_visit(targets[vmask], payload[vmask], emitter)
+    return emitter.drain()
+
+
 class BSPBatchedEngine(BSPEngine):
-    """Bulk-synchronous engine with vectorised supersteps."""
+    """Bulk-synchronous engine with vectorised supersteps.
+
+    Parity contract (pinned by ``tests/test_engines.py``): for every
+    batch-capable program under the PRIORITY discipline, this engine's
+    ``n_visits``, ``n_messages_local``, ``n_messages_remote``,
+    ``bytes_sent``, ``peak_queue_total`` and superstep count are
+    **bit-identical** to :class:`~repro.runtime.engine.BSPEngine`'s, and
+    ``sim_time``/``busy_time`` agree to float round-off.  What may
+    differ across *execution models* (async vs BSP) is the message
+    count itself — scheduling order changes how many wasted relaxations
+    occur, the effect the paper's Figs. 5-6 measure.
+    """
 
     def run_phase(
         self,
@@ -137,6 +189,10 @@ class BSPBatchedEngine(BSPEngine):
             [r for _, r in rows], dtype=np.int64
         ).reshape(-1, width)
 
+        # the iterable above may be a generator that initialises program
+        # state (seed bootstrap), so subclasses replicate state only now
+        self._phase_begin(program)
+
         barrier = machine.allreduce_time(n_ranks, 8) + machine.message_delay(
             n_ranks > 1
         )
@@ -160,16 +216,9 @@ class BSPBatchedEngine(BSPEngine):
             proc_rank = np.where(
                 is_rank, -targets - 1, owner[np.maximum(targets, 0)]
             )
-            emitter = BatchEmitter(width)
-            if is_rank.any():
-                program.batch_visit_rank(
-                    -targets[is_rank] - 1, payload[is_rank], emitter
-                )
-            vmask = ~is_rank
-            if vmask.any():
-                program.batch_visit(targets[vmask], payload[vmask], emitter)
-
-            src_ranks, out_targets, out_payload = emitter.drain()
+            src_ranks, out_targets, out_payload = self._superstep_batch(
+                program, targets, payload, proc_rank, width
+            )
 
             # vectorised cost-model accounting: t_visit per processed
             # message, t_emit per emission, attributed to the acting rank
@@ -193,8 +242,34 @@ class BSPBatchedEngine(BSPEngine):
 
             targets, payload = out_targets, out_payload
 
+        self._phase_end(program)
         stats.sim_time = total_time
         self.n_supersteps = supersteps
         self.clock += total_time
         self.phases.append(stats)
         return stats
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks (the ``bsp-mp`` engine overrides all three)
+    # ------------------------------------------------------------------ #
+    def _superstep_batch(
+        self,
+        program: VertexProgram,
+        targets: np.ndarray,
+        payload: np.ndarray,
+        proc_rank: np.ndarray,
+        width: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Compute one superstep's emissions.  ``proc_rank`` is the rank
+        processing each inbox message (its owner, or the addressed rank)
+        — unused here, but it is the routing key a distributed subclass
+        shards the inbox by."""
+        return run_batch_superstep(program, targets, payload, width)
+
+    def _phase_begin(self, program: VertexProgram) -> None:
+        """Called once per phase after the initial messages are encoded
+        (and any state-initialising generator has run)."""
+
+    def _phase_end(self, program: VertexProgram) -> None:
+        """Called once per phase at quiescence, before stats are
+        finalised — where a distributed subclass gathers worker state."""

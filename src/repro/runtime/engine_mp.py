@@ -1,0 +1,400 @@
+"""Multiprocess rank-parallel BSP engine: true parallelism across ranks.
+
+:class:`BSPMultiprocessEngine` (registry name ``bsp-mp``) executes the
+exact superstep semantics of
+:class:`~repro.runtime.engine_batched.BSPBatchedEngine` — the engine it
+subclasses — but shards each superstep's inbox across a persistent pool
+of ``fork``-ed worker processes, one worker per contiguous group of
+simulated ranks.  This is the step from *simulated* distributed
+execution to *actually parallel* execution: the batched superstep is
+embarrassingly rank-parallel because a vertex's state is only ever
+written by its owner rank, so rank-disjoint inbox shards touch disjoint
+state.
+
+Data movement
+-------------
+The partitioned CSR (graph topology, weights, ``owner``/``arc_rank``
+maps) is **never pickled**: workers are forked after the engine holds
+the partition, so they inherit it through copy-on-write pages — the
+read-only-shared-graph arrangement HavoqGT gets from mmap'd graph
+storage (the ``SharedMemory`` alternative would buy the same pages at
+the cost of explicit segment lifecycle management; fork pages need
+none).  Three message kinds cross process boundaries, all compact:
+
+* once per phase: the program's *mutable* state payload
+  (:meth:`mp_clone_payload` → :meth:`mp_materialize`), e.g. the
+  initialised seed entries of the Voronoi program;
+* once per superstep per worker: the worker's inbox shard and its
+  drained emissions — flat ``int64`` arrays, exactly the
+  per-destination message arrays a real MPI exchange would ship;
+* once per phase at quiescence: each worker's owned-vertex state
+  (:meth:`mp_collect` → :meth:`mp_merge`), folded back into the
+  driver's program so downstream phases see the converged arrays.
+
+Parity contract
+---------------
+``bsp-mp`` produces **bit-identical** message counts, visit counts,
+byte counts, peak-queue and superstep counts to ``bsp-batched`` (and
+hence to ``bsp``) for any ``workers`` value: the driver runs the
+identical accounting loop on the concatenated emissions, and the
+per-vertex lexicographic-minimum reduction inside a superstep is
+order-independent, so sharding the inbox by owner rank changes nothing
+observable.  ``tests/test_engine_mp.py`` pins this for ``workers`` in
+{1, 2, 4}.  Simulated time is a *model* output — identical too — while
+wall-clock time is where the workers actually help.
+
+Fallback rules (the engine is total over every program):
+
+* ``workers <= 1``, or the platform lacks the ``fork`` start method
+  (``spawn`` would pickle the graph per worker, defeating the design)
+  → in-process vectorised supersteps;
+* the program lacks the mp protocol (:func:`supports_mp`)
+  → in-process vectorised supersteps;
+* FIFO discipline or no batch protocol
+  → the scalar per-message superstep loop, as in the batched engine.
+
+The mp protocol
+---------------
+A program opts in by implementing, on top of the batch protocol:
+
+``mp_clone_payload() -> dict``
+    Picklable snapshot of the program's *mutable* state (never the
+    partition — workers inherit that).
+``mp_materialize(partition, payload) -> program``  (classmethod)
+    Rebuild a worker-side replica from the inherited partition plus the
+    snapshot.
+``mp_collect(owned_vertices) -> dict``
+    Picklable state restricted to the vertices this worker owns (the
+    only state it can have written).
+``mp_merge(collected) -> None``
+    Fold one worker's collected state into the driver's program.
+
+Pool lifecycle: workers start lazily on the first multiprocess phase
+and persist across phases (the solver runs phases 1 and 6 on one
+engine).  :meth:`BSPMultiprocessEngine.close` — called by the solver in
+a ``finally`` and by ``run_phase_with`` — always shuts the pool down,
+so no processes leak even when a phase raises; workers are daemonic as
+a second line of defence.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.runtime.cost_model import MachineModel
+from repro.runtime.engine import PhaseStats, VertexProgram
+from repro.runtime.engine_batched import (
+    BSPBatchedEngine,
+    run_batch_superstep,
+    supports_batch,
+)
+from repro.runtime.partition import PartitionedGraph
+from repro.runtime.queues import QueueDiscipline
+
+__all__ = [
+    "DEFAULT_WORKERS",
+    "BSPMultiprocessEngine",
+    "fork_available",
+    "supports_mp",
+]
+
+#: worker count when ``workers=None``: a fixed small default (rather
+#: than ``os.cpu_count()``) so runs are reproducible across machines —
+#: the determinism contract of ``repro-steiner engines --bench``
+DEFAULT_WORKERS = 2
+
+_MP_HOOKS = ("mp_clone_payload", "mp_materialize", "mp_collect", "mp_merge")
+
+
+def fork_available() -> bool:
+    """True iff the platform offers the ``fork`` start method (Linux,
+    macOS with caveats); without it the engine stays in-process."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def supports_mp(program: VertexProgram) -> bool:
+    """True iff the program implements the batch *and* mp protocols.
+
+    >>> from repro.runtime.partition import block_partition
+    >>> from repro.graph.generators import grid_graph
+    >>> from repro.core.voronoi_visitor import VoronoiProgram
+    >>> part = block_partition(grid_graph(3, 3), 2)
+    >>> supports_mp(VoronoiProgram(part))
+    True
+    >>> class BatchOnly:
+    ...     batch_payload_width = 1
+    ...     def batch_encode(self, t, p):
+    ...         return p
+    ...     def batch_visit(self, t, p, e):
+    ...         pass
+    >>> supports_mp(BatchOnly())
+    False
+    """
+    return supports_batch(program) and all(
+        hasattr(program, attr) for attr in _MP_HOOKS
+    )
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+def _worker_main(conn, partition: PartitionedGraph, owned: np.ndarray) -> None:
+    """Serve phase/step/collect commands over ``conn`` until stopped.
+
+    Runs in a forked child: ``partition`` and ``owned`` arrive through
+    inherited memory, not pickling.  Any exception is reported back as
+    an ``("error", traceback)`` reply instead of killing the child
+    silently, so the driver can surface it.
+    """
+    program = None
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        cmd = msg[0]
+        if cmd == "stop":
+            break
+        try:
+            if cmd == "phase":
+                _, cls, payload = msg
+                program = cls.mp_materialize(partition, payload)
+                conn.send(("ok", None))
+            elif cmd == "step":
+                _, targets, payload = msg
+                conn.send(
+                    (
+                        "ok",
+                        run_batch_superstep(
+                            program,
+                            targets,
+                            payload,
+                            program.batch_payload_width,
+                        ),
+                    )
+                )
+            elif cmd == "collect":
+                conn.send(("ok", program.mp_collect(owned)))
+            else:  # pragma: no cover - protocol guard
+                conn.send(("error", f"unknown command {cmd!r}"))
+        except BaseException:
+            try:
+                conn.send(("error", traceback.format_exc()))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                break
+    conn.close()
+
+
+# --------------------------------------------------------------------- #
+# driver side
+# --------------------------------------------------------------------- #
+class _RankWorkerPool:
+    """A persistent pool of forked workers, one per group of ranks.
+
+    ``rank_worker[r]`` maps simulated rank ``r`` to its worker — the
+    same contiguous-block assignment the partitioner uses for vertices,
+    so rank locality survives the extra layer.
+    """
+
+    def __init__(self, partition: PartitionedGraph, n_workers: int) -> None:
+        ctx = multiprocessing.get_context("fork")
+        n_ranks = partition.n_ranks
+        self.n_workers = n_workers
+        self.rank_worker = (
+            np.arange(n_ranks, dtype=np.int64) * n_workers
+        ) // n_ranks
+        self._conns = []
+        self._procs = []
+        worker_of_vertex = self.rank_worker[partition.owner]
+        for w in range(n_workers):
+            owned = np.nonzero(worker_of_vertex == w)[0].astype(np.int64)
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, partition, owned),
+                daemon=True,
+                name=f"bsp-mp-worker-{w}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------ #
+    def broadcast(self, msg: tuple) -> list:
+        """Send one command to every worker; gather replies in worker
+        order (the pool's deterministic-iteration guarantee)."""
+        for conn in self._conns:
+            conn.send(msg)
+        return [self._recv(conn) for conn in self._conns]
+
+    def step(
+        self,
+        targets: np.ndarray,
+        payload: np.ndarray,
+        worker_of_msg: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Scatter one superstep's inbox by worker, gather and
+        concatenate the emissions (worker order, hence deterministic)."""
+        for w, conn in enumerate(self._conns):
+            shard = worker_of_msg == w
+            conn.send(("step", targets[shard], payload[shard]))
+        parts = [self._recv(conn) for conn in self._conns]
+        return (
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+            np.vstack([p[2] for p in parts]),
+        )
+
+    def _recv(self, conn):
+        try:
+            status, value = conn.recv()
+        except (EOFError, OSError) as exc:
+            # the worker died without replying (OOM kill, segfault):
+            # name it rather than surfacing a contextless EOFError
+            raise SimulationError(
+                f"bsp-mp worker {self._conns.index(conn)} died "
+                f"unexpectedly (no reply on its pipe)"
+            ) from exc
+        if status == "error":
+            raise SimulationError(f"bsp-mp worker failed:\n{value}")
+        return value
+
+    def close(self) -> None:
+        """Stop and join every worker; escalate to terminate on a
+        wedged child.  Idempotent."""
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - wedged child
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._conns, self._procs = [], []
+
+
+class BSPMultiprocessEngine(BSPBatchedEngine):
+    """Batched BSP engine whose supersteps run on a forked worker pool.
+
+    ``workers`` caps at ``partition.n_ranks`` (a worker with no ranks
+    would own no vertices); ``None`` means :data:`DEFAULT_WORKERS`.
+    ``workers <= 1`` short-circuits to the in-process batched engine —
+    same results, no processes.
+    """
+
+    def __init__(
+        self,
+        partition: PartitionedGraph,
+        machine: MachineModel | None = None,
+        discipline: QueueDiscipline | str = QueueDiscipline.PRIORITY,
+        *,
+        workers: Optional[int] = None,
+    ) -> None:
+        super().__init__(partition, machine, discipline)
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None for the default)")
+        resolved = DEFAULT_WORKERS if workers is None else workers
+        self.workers = min(resolved, partition.n_ranks)
+        #: provenance for benchmarks: workers actually used by the last
+        #: ``run_phase`` (1 when a fallback kept execution in-process)
+        self.workers_used = 1
+        self._pool: _RankWorkerPool | None = None
+        self._mp_active = False
+
+    # ------------------------------------------------------------------ #
+    def run_phase(
+        self,
+        name: str,
+        program: VertexProgram,
+        initial_messages: Iterable[Tuple[int, Tuple]],
+        *,
+        max_events: Optional[int] = None,
+        max_supersteps: int = 1_000_000,
+    ) -> PhaseStats:
+        """Run ``program`` to quiescence with rank-parallel supersteps
+        (in-process fallback per the module's fallback rules — counts
+        are identical either way)."""
+        use_pool = (
+            self.workers > 1
+            and fork_available()
+            and supports_mp(program)
+            and self.discipline is QueueDiscipline.PRIORITY
+        )
+        self.workers_used = self.workers if use_pool else 1
+        if not use_pool:
+            return super().run_phase(
+                name,
+                program,
+                initial_messages,
+                max_events=max_events,
+                max_supersteps=max_supersteps,
+            )
+        if self._pool is None:
+            self._pool = _RankWorkerPool(self.partition, self.workers)
+        self._mp_active = True
+        try:
+            return super().run_phase(
+                name,
+                program,
+                initial_messages,
+                max_events=max_events,
+                max_supersteps=max_supersteps,
+            )
+        finally:
+            self._mp_active = False
+
+    # ------------------------------------------------------------------ #
+    # BSPBatchedEngine hooks: replicate / shard / gather
+    # ------------------------------------------------------------------ #
+    def _phase_begin(self, program: VertexProgram) -> None:
+        if self._mp_active:
+            self._pool.broadcast(
+                ("phase", type(program), program.mp_clone_payload())
+            )
+
+    def _superstep_batch(self, program, targets, payload, proc_rank, width):
+        if not self._mp_active:
+            return super()._superstep_batch(
+                program, targets, payload, proc_rank, width
+            )
+        return self._pool.step(
+            targets, payload, self._pool.rank_worker[proc_rank]
+        )
+
+    def _phase_end(self, program: VertexProgram) -> None:
+        if self._mp_active:
+            for collected in self._pool.broadcast(("collect",)):
+                program.mp_merge(collected)
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the solver calls this
+        in a ``finally``, so exceptions never leak processes)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "BSPMultiprocessEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - gc-order dependent
+        try:
+            self.close()
+        except Exception:
+            pass

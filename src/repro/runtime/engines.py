@@ -10,25 +10,32 @@ the CLI, the benchmarks — funnels through this module, so a single
 Contract
 --------
 An engine is built by a registered factory
-``(partition, machine=None, discipline=..., *, aggregate_remote=False)``
+``(partition, machine=None, discipline=..., *, aggregate_remote=False,
+workers=None)`` — factories must accept (and may ignore) every keyword
+knob, so a single :func:`make_engine` call site serves all engines —
 and exposes the :class:`~repro.runtime.engine.EngineBase` surface:
 
 * ``run_phase(name, program, initial_messages, *, max_events=None)``
   runs a :class:`~repro.runtime.engine.VertexProgram` to quiescence and
   returns a :class:`~repro.runtime.engine.PhaseStats`;
 * ``add_analytic_phase`` / ``total_time`` / ``phases`` record phases
-  whose cost is analytic (collectives, MST).
+  whose cost is analytic (collectives, MST);
+* ``close()`` releases external resources (``bsp-mp``'s worker pool; a
+  no-op for the in-process engines).  Callers that own an engine must
+  close it in a ``finally`` — the solver and :func:`run_phase_with` do.
 
-Parity guarantee (pinned by ``tests/test_engines.py``): every engine
-drives a program to the **identical converged state** — for the solver,
-the identical ``(src, dist)`` fixpoint and hence the bit-identical
-Steiner tree.  The two bulk-synchronous engines additionally produce
-**identical message counts, visit counts and superstep counts** (one is
-the vectorised form of the other).  Message counts *across* execution
-models legitimately differ — scheduling order changes how many wasted
-relaxations occur, which is exactly the effect the paper's Figs. 5-6
-measure — so cross-model count equality is a measured quantity (the
-async-vs-BSP ablation), not an invariant.
+Parity guarantee (pinned by ``tests/test_engines.py`` and
+``tests/test_engine_mp.py``): every engine drives a program to the
+**identical converged state** — for the solver, the identical
+``(src, dist)`` fixpoint and hence the bit-identical Steiner tree.  The
+bulk-synchronous engines (``bsp``, ``bsp-batched``, ``bsp-mp`` at any
+worker count) additionally produce **identical message counts, visit
+counts and superstep counts** — they execute the same supersteps, one
+per-message, one vectorised, one vectorised-and-rank-parallel.  Message
+counts *across* execution models legitimately differ — scheduling order
+changes how many wasted relaxations occur, which is exactly the effect
+the paper's Figs. 5-6 measure — so cross-model count equality is a
+measured quantity (the async-vs-BSP ablation), not an invariant.
 
 Registered engines
 ------------------
@@ -46,6 +53,18 @@ Registered engines
     superstep is NumPy array operations over the partitioned CSR
     instead of one Python callback per message — same semantics as
     ``bsp``, order-of-magnitude less interpreter overhead.
+``bsp-mp``
+    Multiprocess rank-parallel supersteps
+    (:class:`~repro.runtime.engine_mp.BSPMultiprocessEngine`): the
+    batched supersteps sharded across a persistent pool of forked
+    workers, one per group of simulated ranks — true parallelism,
+    selected with ``SolverConfig(engine="bsp-mp", workers=N)`` or
+    ``repro-steiner solve --engine bsp-mp --workers N``.
+
+>>> "bsp-mp" in available_engines()
+True
+>>> available_engines()[0] == DEFAULT_ENGINE == "async-heap"
+True
 """
 
 from __future__ import annotations
@@ -59,6 +78,7 @@ import numpy as np
 from repro.runtime.cost_model import MachineModel
 from repro.runtime.engine import AsyncEngine, BSPEngine, EngineBase, PhaseStats
 from repro.runtime.engine_batched import BSPBatchedEngine
+from repro.runtime.engine_mp import BSPMultiprocessEngine
 from repro.runtime.partition import PartitionedGraph
 from repro.runtime.queues import QueueDiscipline
 
@@ -101,12 +121,17 @@ class EngineResult:
     n_supersteps:
         Superstep count for the bulk-synchronous engines, ``None`` for
         the asynchronous one.
+    workers:
+        Worker processes the phase actually ran on: ``None`` for
+        engines without a pool, ``1`` when ``bsp-mp`` fell back to
+        in-process execution, the pool size otherwise.
     """
 
     stats: PhaseStats
     engine: str
     elapsed_s: float
     n_supersteps: Optional[int] = None
+    workers: Optional[int] = None
 
 
 def register_engine(
@@ -156,10 +181,22 @@ def make_engine(
     discipline: QueueDiscipline | str = QueueDiscipline.PRIORITY,
     *,
     aggregate_remote: bool = False,
+    workers: Optional[int] = None,
 ) -> EngineBase:
-    """Instantiate the named engine over a partitioned graph."""
+    """Instantiate the named engine over a partitioned graph.
+
+    ``workers`` sizes ``bsp-mp``'s process pool (``None`` = its
+    reproducible default); the in-process engines accept and ignore it,
+    so callers can thread the knob unconditionally.  The caller owns the
+    returned engine and must :meth:`~repro.runtime.engine.EngineBase.close`
+    it when done (a no-op for engines without external resources).
+    """
     return get_engine(name)(
-        partition, machine, discipline, aggregate_remote=aggregate_remote
+        partition,
+        machine,
+        discipline,
+        aggregate_remote=aggregate_remote,
+        workers=workers,
     )
 
 
@@ -173,24 +210,34 @@ def run_phase_with(
     discipline: QueueDiscipline | str = QueueDiscipline.PRIORITY,
     name: str = "phase",
     max_events: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> EngineResult:
     """Run one program phase under the chosen engine.
 
     The program converges to the identical state under every engine (the
     registry contract); the choice trades execution model and wall-clock
     speed.  Returns the stats plus provenance, for benchmarks and the
-    ``repro-steiner engines --bench`` report.
+    ``repro-steiner engines --bench`` report.  The engine is always
+    closed before returning — even when the phase raises — so ``bsp-mp``
+    worker processes never outlive the call.
     """
-    engine = make_engine(engine_name, partition, machine, discipline)
-    t0 = time.perf_counter()
-    stats = engine.run_phase(
-        name, program, initial_messages, max_events=max_events
+    engine = make_engine(
+        engine_name, partition, machine, discipline, workers=workers
     )
+    try:
+        t0 = time.perf_counter()
+        stats = engine.run_phase(
+            name, program, initial_messages, max_events=max_events
+        )
+        elapsed = time.perf_counter() - t0
+    finally:
+        engine.close()
     return EngineResult(
         stats=stats,
         engine=engine_name,
-        elapsed_s=time.perf_counter() - t0,
+        elapsed_s=elapsed,
         n_supersteps=getattr(engine, "n_supersteps", None),
+        workers=getattr(engine, "workers_used", None),
     )
 
 
@@ -203,6 +250,7 @@ def verify_engines_agree(
     engines: Sequence[str] | None = None,
     machine: MachineModel | None = None,
     discipline: QueueDiscipline | str = QueueDiscipline.PRIORITY,
+    workers: Optional[int] = None,
 ) -> dict[str, EngineResult]:
     """Run a fresh program under several engines and assert their
     converged states are identical (the registry contract).
@@ -225,6 +273,7 @@ def verify_engines_agree(
             list(initial_fn(program)),
             machine=machine,
             discipline=discipline,
+            workers=workers,
         )
         state = state_fn(program)
         if ref_state is None:
@@ -251,6 +300,7 @@ def _async_heap_factory(
     discipline: QueueDiscipline | str = QueueDiscipline.PRIORITY,
     *,
     aggregate_remote: bool = False,
+    workers: Optional[int] = None,
 ) -> AsyncEngine:
     return AsyncEngine(
         partition, machine, discipline, aggregate_remote=aggregate_remote
@@ -266,9 +316,11 @@ def _bsp_factory(
     discipline: QueueDiscipline | str = QueueDiscipline.PRIORITY,
     *,
     aggregate_remote: bool = False,
+    workers: Optional[int] = None,
 ) -> BSPEngine:
     # aggregation is an async-runtime knob; BSP already models bulk
-    # per-superstep delivery, so the flag is accepted and ignored
+    # per-superstep delivery, so the flag is accepted and ignored —
+    # as is workers, which only the pooled engine consumes
     return BSPEngine(partition, machine, discipline)
 
 
@@ -282,5 +334,23 @@ def _bsp_batched_factory(
     discipline: QueueDiscipline | str = QueueDiscipline.PRIORITY,
     *,
     aggregate_remote: bool = False,
+    workers: Optional[int] = None,
 ) -> BSPBatchedEngine:
     return BSPBatchedEngine(partition, machine, discipline)
+
+
+@register_engine(
+    "bsp-mp",
+    "multiprocess rank-parallel batched supersteps (forked worker pool)",
+)
+def _bsp_mp_factory(
+    partition: PartitionedGraph,
+    machine: MachineModel | None = None,
+    discipline: QueueDiscipline | str = QueueDiscipline.PRIORITY,
+    *,
+    aggregate_remote: bool = False,
+    workers: Optional[int] = None,
+) -> BSPMultiprocessEngine:
+    return BSPMultiprocessEngine(
+        partition, machine, discipline, workers=workers
+    )

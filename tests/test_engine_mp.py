@@ -1,0 +1,432 @@
+"""The multiprocess rank-parallel engine (``bsp-mp``).
+
+The contract under test (``repro.runtime.engine_mp``): sharding the
+batched supersteps across a forked worker pool changes *nothing
+observable* — message counts, visit counts, byte counts, peak queue and
+superstep counts are bit-identical to ``bsp-batched`` (and hence to
+``bsp``) for any worker count, the converged program state is
+identical, and the solver's output tree is bit-identical.  On top of
+parity: the fallback rules (workers<=1, no fork, FIFO, non-mp
+programs all stay in-process), and pool hygiene — no worker process
+survives ``close()``, solver exceptions, or worker-side crashes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.core.voronoi_visitor import VoronoiProgram
+from repro.errors import DisconnectedSeedsError, SimulationError
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import grid_graph
+from repro.runtime.engine_batched import BSPBatchedEngine
+from repro.runtime.engine_mp import (
+    DEFAULT_WORKERS,
+    BSPMultiprocessEngine,
+    fork_available,
+    supports_mp,
+)
+from repro.runtime.engines import (
+    available_engines,
+    make_engine,
+    run_phase_with,
+)
+from repro.runtime.partition import block_partition
+from tests.conftest import component_seeds, make_connected_graph
+
+WORKER_COUNTS = (1, 2, 4)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+PROPERTY = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+_COUNTERS = (
+    "n_visits",
+    "n_messages_local",
+    "n_messages_remote",
+    "bytes_sent",
+    "peak_queue_total",
+)
+
+
+def assert_counts_identical(ref_stats, mp_stats, ref_engine, mp_engine):
+    """The full bit-identical-counters contract for one phase."""
+    for attr in _COUNTERS:
+        assert getattr(ref_stats, attr) == getattr(mp_stats, attr), attr
+    assert ref_engine.n_supersteps == mp_engine.n_supersteps
+    assert mp_stats.sim_time == pytest.approx(ref_stats.sim_time, rel=1e-9)
+
+
+def run_voronoi(engine, partition, seeds):
+    prog = VoronoiProgram(partition)
+    try:
+        stats = engine.run_phase(
+            "Voronoi Cell", prog, list(prog.initial_messages(seeds))
+        )
+    finally:
+        engine.close()
+    return prog, stats
+
+
+class _CrashOnSecondStep(VoronoiProgram):
+    """A program whose batch hook raises after the bootstrap superstep —
+    module-level so worker processes can unpickle it by reference."""
+
+    def batch_visit(self, targets, payload, emitter):
+        if self.dist[self.dist != np.iinfo(np.int64).max].size > len(
+            np.unique(targets)
+        ):
+            raise RuntimeError("injected worker fault")
+        super().batch_visit(targets, payload, emitter)
+
+
+@needs_fork
+class TestParity:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_phase_counts_identical_to_batched(self, random_graph, workers):
+        seeds = np.asarray(component_seeds(random_graph, 5, seed=21))
+        part = block_partition(random_graph, 8)
+        ref_engine = BSPBatchedEngine(part)
+        ref_prog, ref_stats = run_voronoi(ref_engine, part, seeds)
+        mp_engine = BSPMultiprocessEngine(part, workers=workers)
+        mp_prog, mp_stats = run_voronoi(mp_engine, part, seeds)
+        assert np.array_equal(ref_prog.src, mp_prog.src)
+        assert np.array_equal(ref_prog.dist, mp_prog.dist)
+        assert_counts_identical(ref_stats, mp_stats, ref_engine, mp_engine)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_solver_counts_identical_to_batched(self, random_graph, workers):
+        """Acceptance criterion: message/visit/superstep counts of a
+        full solve are bit-identical to ``bsp-batched``, per phase."""
+        seeds = component_seeds(random_graph, 5, seed=22)
+        ref = DistributedSteinerSolver(
+            random_graph, SolverConfig(n_ranks=6, engine="bsp-batched")
+        ).solve(seeds)
+        mp = DistributedSteinerSolver(
+            random_graph,
+            SolverConfig(n_ranks=6, engine="bsp-mp", workers=workers),
+        ).solve(seeds)
+        assert np.array_equal(ref.edges, mp.edges)
+        assert ref.total_distance == mp.total_distance
+        for p_ref, p_mp in zip(ref.phases, mp.phases):
+            for attr in _COUNTERS:
+                assert getattr(p_ref, attr) == getattr(p_mp, attr), (
+                    p_ref.name,
+                    attr,
+                )
+
+    @PROPERTY
+    @given(
+        n=st.integers(min_value=2, max_value=18),
+        n_chords=st.integers(min_value=0, max_value=20),
+        rng_seed=st.integers(min_value=0, max_value=2**16),
+        n_ranks=st.integers(min_value=1, max_value=7),
+        k=st.integers(min_value=1, max_value=4),
+        workers=st.sampled_from(WORKER_COUNTS),
+    )
+    def test_random_graphs_hypothesis(
+        self, n, n_chords, rng_seed, n_ranks, k, workers
+    ):
+        """Counts identical to ``bsp-batched`` on random partitioned
+        graphs for workers in {1, 2, 4} (the issue's parity clause)."""
+        rng = np.random.default_rng(rng_seed)
+        backbone = [(i, i + 1) for i in range(n - 1)]
+        chords = [
+            (int(a), int(b))
+            for a, b in rng.integers(0, n, size=(n_chords, 2))
+            if a != b
+        ]
+        edges = np.asarray(backbone + chords, dtype=np.int64)
+        weights = rng.integers(1, 9, size=len(edges))
+        graph = CSRGraph.from_edges(n, edges, weights)
+        seeds = np.unique(rng.integers(0, n, size=k))
+        part = block_partition(graph, n_ranks)
+        ref_engine = BSPBatchedEngine(part)
+        ref_prog, ref_stats = run_voronoi(ref_engine, part, seeds)
+        mp_engine = BSPMultiprocessEngine(part, workers=workers)
+        mp_prog, mp_stats = run_voronoi(mp_engine, part, seeds)
+        assert np.array_equal(ref_prog.src, mp_prog.src)
+        assert np.array_equal(ref_prog.dist, mp_prog.dist)
+        assert_counts_identical(ref_stats, mp_stats, ref_engine, mp_engine)
+
+    def test_pool_reused_across_phases(self, random_graph):
+        """One solve runs phases 1 and 6 on the same engine; the pool
+        persists across them and both phases' state merges correctly
+        (the tree-edge walk needs phase 1's converged arrays)."""
+        seeds = component_seeds(random_graph, 6, seed=23)
+        res = DistributedSteinerSolver(
+            random_graph, SolverConfig(n_ranks=5, engine="bsp-mp", workers=2)
+        ).solve(seeds)
+        ref = DistributedSteinerSolver(
+            random_graph, SolverConfig(n_ranks=5, engine="bsp-batched")
+        ).solve(seeds)
+        assert np.array_equal(ref.edges, res.edges)
+
+
+class TestFallbacks:
+    def test_workers_one_stays_in_process(self, random_graph):
+        part = block_partition(random_graph, 4)
+        engine = BSPMultiprocessEngine(part, workers=1)
+        seeds = np.asarray(component_seeds(random_graph, 3, seed=24))
+        run_voronoi(engine, part, seeds)
+        assert engine.workers_used == 1
+        assert engine._pool is None
+
+    def test_workers_cap_at_ranks(self, random_graph):
+        part = block_partition(random_graph, 3)
+        assert BSPMultiprocessEngine(part, workers=64).workers == 3
+
+    def test_default_workers_is_fixed(self, random_graph):
+        """Reproducibility: the default pool size is a constant, not
+        ``os.cpu_count()`` — two machines log identical bench configs."""
+        part = block_partition(random_graph, 8)
+        assert BSPMultiprocessEngine(part).workers == DEFAULT_WORKERS == 2
+
+    def test_invalid_workers_rejected(self, random_graph):
+        part = block_partition(random_graph, 4)
+        with pytest.raises(ValueError, match="workers"):
+            BSPMultiprocessEngine(part, workers=0)
+
+    def test_fifo_falls_back_in_process(self, random_graph):
+        part = block_partition(random_graph, 4)
+        engine = BSPMultiprocessEngine(part, None, "fifo", workers=2)
+        seeds = np.asarray(component_seeds(random_graph, 3, seed=25))
+        prog, stats = run_voronoi(engine, part, seeds)
+        assert engine.workers_used == 1
+        ref_prog, ref_stats = run_voronoi(
+            BSPBatchedEngine(part, None, "fifo"), part, seeds
+        )
+        assert np.array_equal(ref_prog.dist, prog.dist)
+        assert ref_stats.n_messages == stats.n_messages
+
+    def test_non_mp_program_falls_back(self, random_graph):
+        """A program without the mp protocol runs in-process with
+        identical results (and no pool is ever forked)."""
+
+        class EchoProgram:
+            def __init__(self):
+                self.visits = []
+
+            def priority(self, payload):
+                return float(payload[0])
+
+            def visit(self, vertex, payload, emit):
+                self.visits.append(vertex)
+                if payload[0] > 0 and vertex + 1 < 16:
+                    emit(vertex + 1, (payload[0] - 1,))
+
+        part = block_partition(grid_graph(1, 16), 4)
+        assert not supports_mp(EchoProgram())
+        engine = BSPMultiprocessEngine(part, workers=2)
+        try:
+            engine.run_phase("chain", EchoProgram(), [(0, (7,))])
+        finally:
+            engine.close()
+        assert engine.workers_used == 1
+        assert engine._pool is None
+
+    def test_no_fork_platform_falls_back(self, random_graph, monkeypatch):
+        import repro.runtime.engine_mp as mod
+
+        monkeypatch.setattr(mod, "fork_available", lambda: False)
+        part = block_partition(random_graph, 4)
+        engine = BSPMultiprocessEngine(part, workers=4)
+        seeds = np.asarray(component_seeds(random_graph, 3, seed=26))
+        prog, _ = run_voronoi(engine, part, seeds)
+        assert engine.workers_used == 1
+        ref_prog, _ = run_voronoi(BSPBatchedEngine(part), part, seeds)
+        assert np.array_equal(ref_prog.dist, prog.dist)
+
+
+@needs_fork
+class TestPoolHygiene:
+    def test_no_children_after_close(self, random_graph):
+        part = block_partition(random_graph, 4)
+        engine = BSPMultiprocessEngine(part, workers=2)
+        seeds = np.asarray(component_seeds(random_graph, 3, seed=27))
+        run_voronoi(engine, part, seeds)
+        assert not any(
+            p.name.startswith("bsp-mp-") for p in multiprocessing.active_children()
+        )
+
+    def test_close_is_idempotent(self, random_graph):
+        part = block_partition(random_graph, 4)
+        engine = BSPMultiprocessEngine(part, workers=2)
+        seeds = np.asarray(component_seeds(random_graph, 3, seed=28))
+        prog = VoronoiProgram(part)
+        engine.run_phase(
+            "Voronoi Cell", prog, list(prog.initial_messages(seeds))
+        )
+        engine.close()
+        engine.close()  # second close must be a no-op, not an error
+
+    def test_context_manager_closes(self, random_graph):
+        part = block_partition(random_graph, 4)
+        seeds = np.asarray(component_seeds(random_graph, 3, seed=29))
+        with BSPMultiprocessEngine(part, workers=2) as engine:
+            prog = VoronoiProgram(part)
+            engine.run_phase(
+                "Voronoi Cell", prog, list(prog.initial_messages(seeds))
+            )
+        assert engine._pool is None
+
+    def test_solver_exception_shuts_pool_down(self):
+        """Regression (the issue's leak clause): a solver exception after
+        the pool has started — disconnected seeds detected in phase 4 —
+        must not leak worker processes."""
+        # two disjoint 9-vertex paths: phase 1 runs (pool starts),
+        # phase 4 raises DisconnectedSeedsError
+        edges = [(i, i + 1) for i in range(8)] + [
+            (i, i + 1) for i in range(9, 17)
+        ]
+        graph = CSRGraph.from_edges(
+            18, np.asarray(edges, dtype=np.int64), [1] * len(edges)
+        )
+        solver = DistributedSteinerSolver(
+            graph, SolverConfig(n_ranks=4, engine="bsp-mp", workers=2)
+        )
+        with pytest.raises(DisconnectedSeedsError):
+            solver.solve([0, 17])
+        assert not any(
+            p.name.startswith("bsp-mp-") for p in multiprocessing.active_children()
+        )
+
+    def test_worker_crash_surfaces_and_cleans_up(self, random_graph):
+        """A worker-side exception must come back as SimulationError
+        (with the traceback) and leave no processes behind."""
+        part = block_partition(random_graph, 4)
+        engine = BSPMultiprocessEngine(part, workers=2)
+        seeds = np.asarray(component_seeds(random_graph, 4, seed=30))
+        prog = _CrashOnSecondStep(part)
+        with pytest.raises(SimulationError, match="injected worker fault"):
+            try:
+                engine.run_phase(
+                    "Voronoi Cell", prog, list(prog.initial_messages(seeds))
+                )
+            finally:
+                engine.close()
+        assert not any(
+            p.name.startswith("bsp-mp-") for p in multiprocessing.active_children()
+        )
+
+
+class TestRegistryAndProvenance:
+    def test_registered(self):
+        assert "bsp-mp" in available_engines()
+
+    def test_make_engine_type_and_workers(self, random_graph):
+        part = block_partition(random_graph, 8)
+        engine = make_engine("bsp-mp", part, workers=3)
+        assert isinstance(engine, BSPMultiprocessEngine)
+        assert isinstance(engine, BSPBatchedEngine)
+        assert engine.workers == 3
+
+    @needs_fork
+    def test_run_phase_with_reports_workers(self, random_graph):
+        part = block_partition(random_graph, 8)
+        seeds = np.asarray(component_seeds(random_graph, 3, seed=31))
+        prog = VoronoiProgram(part)
+        res = run_phase_with(
+            "bsp-mp", part, prog, list(prog.initial_messages(seeds)), workers=2
+        )
+        assert res.engine == "bsp-mp"
+        assert res.workers == 2
+        # and the pool run_phase_with forked is gone again
+        assert not any(
+            p.name.startswith("bsp-mp-") for p in multiprocessing.active_children()
+        )
+
+    def test_in_process_engines_report_no_workers(self, random_graph):
+        part = block_partition(random_graph, 4)
+        seeds = np.asarray(component_seeds(random_graph, 3, seed=32))
+        prog = VoronoiProgram(part)
+        res = run_phase_with(
+            "bsp-batched", part, prog, list(prog.initial_messages(seeds))
+        )
+        assert res.workers is None
+
+    def test_solver_config_validates_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            SolverConfig(engine="bsp-mp", workers=0)
+        assert SolverConfig(engine="bsp-mp", workers=4).workers == 4
+        assert SolverConfig().workers is None
+
+    def test_supports_mp_detection(self, random_graph):
+        part = block_partition(random_graph, 2)
+        assert supports_mp(VoronoiProgram(part))
+
+        from repro.core.tree_edge import TreeEdgeProgram
+
+        n = random_graph.n_vertices
+        prog = TreeEdgeProgram(
+            part,
+            np.zeros(n, dtype=np.int64),
+            np.arange(n, dtype=np.int64),
+            np.zeros(n, dtype=np.int64),
+        )
+        assert supports_mp(prog)
+
+
+@needs_fork
+class TestCLI:
+    def test_solve_with_workers(self, capsys):
+        from repro.harness.cli import main
+
+        rc = main(
+            ["solve", "--dataset", "CTS", "--seeds", "5",
+             "--engine", "bsp-mp", "--workers", "2"]
+        )
+        assert rc == 0
+        assert "SteinerTree" in capsys.readouterr().out
+
+    def test_solve_workers_match_batched_counts(self, capsys):
+        """CLI-level acceptance check: identical phase message counts
+        between --engine bsp-mp --workers 4 and --engine bsp-batched."""
+        from repro.harness.cli import main
+
+        outs = []
+        for argv in (
+            ["solve", "--dataset", "CTS", "--seeds", "5",
+             "--engine", "bsp-mp", "--workers", "4"],
+            ["solve", "--dataset", "CTS", "--seeds", "5",
+             "--engine", "bsp-batched"],
+        ):
+            assert main(argv) == 0
+            outs.append(capsys.readouterr().out)
+        assert outs[0] == outs[1]
+
+    def test_engines_bench_deterministic_counts(self, capsys):
+        """The bench's non-timing columns are identical across runs —
+        the reproducible-CI-logs clause."""
+        from repro.harness.cli import main
+
+        def counts_only():
+            out = capsys.readouterr().out
+            keep = []
+            for line in out.splitlines():
+                if "wall" in line and "sim" in line:
+                    keep.append(
+                        (line.split()[0], line.split("msgs=")[1].split()[0])
+                    )
+            return keep
+
+        argv = ["engines", "--bench", "--dataset", "CTS", "--seeds", "4",
+                "--ranks", "4", "--workers", "2"]
+        assert main(argv) == 0
+        first = counts_only()
+        assert main(argv) == 0
+        assert counts_only() == first
+        assert any(name == "bsp-mp" for name, _ in first)
