@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import random_geometric_graph, sequential_steiner_tree
+from repro import random_geometric_graph
+from repro.api import sequential_steiner_tree
 from repro.baselines import exact_steiner_tree, takahashi_steiner_tree
 from repro.graph.connectivity import largest_component_vertices
 from repro.graph.csr import CSRGraph

@@ -13,13 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    CSRGraph,
-    SolverConfig,
-    distributed_steiner_tree,
-    sequential_steiner_tree,
-    validate_steiner_tree,
-)
+from repro import CSRGraph, validate_steiner_tree
+from repro.api import sequential_steiner_tree, solve
 
 
 def fig1_graph() -> tuple[CSRGraph, list[int]]:
@@ -61,9 +56,8 @@ def main() -> None:
     print(f"total distance D(GS) = {result.total_distance}")
     print(f"Steiner vertices S'  = {result.steiner_vertices().tolist()}\n")
 
-    # --- the simulated distributed solver --------------------------------
-    config = SolverConfig(n_ranks=4)
-    dist_result = distributed_steiner_tree(graph, seeds, config=config)
+    # --- the simulated distributed solver (repro.api facade) -------------
+    dist_result = solve(graph, seeds, n_ranks=4)
     assert np.array_equal(dist_result.edges, result.edges), (
         "distributed and sequential solvers must agree"
     )

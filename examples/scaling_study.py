@@ -15,8 +15,8 @@ Run:  python examples/scaling_study.py
 
 from __future__ import annotations
 
-from repro import SolverConfig, assign_uniform_weights, rmat_graph
-from repro.core.solver import DistributedSteinerSolver
+from repro import assign_uniform_weights, rmat_graph
+from repro.api import Session
 from repro.harness.reporting import fmt_si, fmt_time, render_stacked, render_table
 from repro.seeds import select_seeds
 
@@ -26,13 +26,12 @@ def build_graph():
     return assign_uniform_weights(g, (1, 10_000), seed=43)
 
 
-def strong_scaling(graph, seeds) -> None:
+def strong_scaling(session: Session, seeds) -> None:
     print("=== strong scaling (paper Fig. 3) ===")
     rows = []
     base = None
     for ranks in (2, 4, 8, 16, 32):
-        solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=ranks))
-        res = solver.solve(seeds)
+        res = session.solve(seeds, n_ranks=ranks)
         total = res.sim_time()
         if base is None:
             base = total
@@ -52,15 +51,12 @@ def strong_scaling(graph, seeds) -> None:
     print()
 
 
-def queue_ablation(graph, seeds) -> None:
+def queue_ablation(session: Session, seeds) -> None:
     print("=== FIFO vs priority queue (paper Figs. 5-6) ===")
     rows = []
     results = {}
     for disc in ("fifo", "priority"):
-        solver = DistributedSteinerSolver(
-            graph, SolverConfig(n_ranks=16, discipline=disc)
-        )
-        res = solver.solve(seeds)
+        res = session.solve(seeds, n_ranks=16, discipline=disc)
         results[disc] = res
         rows.append(
             [disc, fmt_time(res.sim_time()), fmt_si(res.message_count())]
@@ -75,12 +71,11 @@ def queue_ablation(graph, seeds) -> None:
           "(paper: 3.5-13.1x / 4.9-22.1x)\n")
 
 
-def seed_sweep(graph) -> None:
+def seed_sweep(session: Session, graph) -> None:
     print("=== seed-count sweep (paper Fig. 4) ===")
-    solver = DistributedSteinerSolver(graph, SolverConfig(n_ranks=16))
     for k in (10, 30, 100):
         seeds = select_seeds(graph, k, "bfs-level", seed=2)
-        res = solver.solve(seeds)
+        res = session.solve(seeds, n_ranks=16)
         print(render_stacked(
             f"|S|={k}", {p.name: p.sim_time for p in res.phases}
         ))
@@ -94,9 +89,12 @@ def main() -> None:
         f"max degree {graph.max_degree}\n"
     )
     seeds = select_seeds(graph, 30, "bfs-level", seed=2)
-    strong_scaling(graph, seeds)
-    queue_ablation(graph, seeds)
-    seed_sweep(graph)
+    # one Session serves every sweep: the graph loads once, a warm
+    # solver is kept per distinct configuration fingerprint
+    with Session(graph) as session:
+        strong_scaling(session, seeds)
+        queue_ablation(session, seeds)
+        seed_sweep(session, graph)
 
 
 if __name__ == "__main__":

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import grid_graph, sequential_steiner_tree
+from repro import grid_graph
+from repro.api import sequential_steiner_tree
 from repro.baselines import exact_steiner_tree
 
 ROWS = COLS = 24

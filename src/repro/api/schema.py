@@ -1,0 +1,316 @@
+"""Versioned JSON schema for solve requests, responses and results.
+
+This module is the *single* source of truth for every wire/dump shape
+the library emits: the ``repro-steiner serve`` line-delimited protocol
+(:mod:`repro.serve.protocol`), :meth:`SteinerTreeResult.to_json
+<repro.core.result.SteinerTreeResult.to_json>`, and the experiment
+reports' machine-readable form all build their payloads here, so a
+field rename happens in exactly one place and is always accompanied by
+a legacy alias.
+
+Request payload (``schema_version`` 1)
+--------------------------------------
+
+.. code-block:: json
+
+    {"schema_version": 1, "id": "req-7", "op": "solve",
+     "graph": "LVJ", "seeds": [3, 14, 159],
+     "config": {"voronoi_backend": "delta-numpy", "n_ranks": 16}}
+
+``op`` defaults to ``"solve"``; the serve loop also accepts ``"ping"``,
+``"stats"``, ``"graphs"`` and ``"shutdown"``.  ``config`` holds
+:class:`~repro.core.config.SolverConfig` field names (legacy spellings
+such as ``ranks``/``queue``/``backend`` are accepted through
+:meth:`SolverConfig.from_kwargs` with a :class:`DeprecationWarning`).
+
+Response payload
+----------------
+
+.. code-block:: json
+
+    {"schema_version": 1, "id": "req-7", "ok": true, "result": {...}}
+    {"schema_version": 1, "id": "req-7", "ok": false,
+     "error": {"type": "DisconnectedSeedsError", "message": "..."}}
+
+The ``result`` object is exactly :func:`result_payload`: ``seeds``,
+``edges`` (``[u, v, w]`` rows, ``u < v``), ``total_distance``,
+``n_edges``, ``wall_time_s``, ``sim_time_s``, ``phases`` and
+``provenance`` (cache/batching counters — see ``docs/serve.md``).
+
+Legacy field names
+------------------
+
+Earlier ad-hoc dumps used ``request_id``/``terminals``/``dataset`` in
+requests and ``total``/``tree_edges`` in result dicts.
+:func:`parse_request` and :func:`upgrade_result_payload` accept them,
+emit a :class:`DeprecationWarning`, and normalise to the canonical
+names above.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "SolveRequest",
+    "error_payload",
+    "jsonable",
+    "parse_request",
+    "response_payload",
+    "result_payload",
+    "upgrade_result_payload",
+]
+
+#: current wire-format version; bump on incompatible field changes
+SCHEMA_VERSION = 1
+
+#: request operations the serve loop understands
+KNOWN_OPS = ("solve", "ping", "stats", "graphs", "shutdown")
+
+#: legacy request field -> canonical field (pre-schema ad-hoc dumps)
+_LEGACY_REQUEST_FIELDS = {
+    "request_id": "id",
+    "terminals": "seeds",
+    "dataset": "graph",
+    "options": "config",
+}
+
+#: legacy result field -> canonical field
+_LEGACY_RESULT_FIELDS = {
+    "total": "total_distance",
+    "tree_edges": "edges",
+    "terminals": "seeds",
+    "wall_time": "wall_time_s",
+}
+
+
+class SchemaError(ValueError):
+    """A payload does not conform to the request/response schema."""
+
+
+def jsonable(obj: Any) -> Any:
+    """Best-effort conversion of payload data to JSON-safe values
+    (NumPy scalars/arrays become Python ints/floats/lists)."""
+    import numpy as np
+
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in sorted(obj)] if isinstance(
+            obj, (set, frozenset)
+        ) else [jsonable(v) for v in obj]
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return obj
+
+
+# --------------------------------------------------------------------- #
+# requests
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SolveRequest:
+    """One parsed protocol request.
+
+    ``config`` holds raw :class:`~repro.core.config.SolverConfig`
+    overrides (field names or their deprecated aliases); it is resolved
+    against the server's default configuration at execution time.
+    """
+
+    id: str
+    op: str = "solve"
+    graph: str | None = None
+    seeds: tuple[int, ...] = ()
+    config: Mapping[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_payload(self) -> dict[str, Any]:
+        """Canonical JSON-safe dict form of this request."""
+        payload: dict[str, Any] = {
+            "schema_version": self.schema_version,
+            "id": self.id,
+            "op": self.op,
+        }
+        if self.graph is not None:
+            payload["graph"] = self.graph
+        if self.seeds:
+            payload["seeds"] = list(self.seeds)
+        if self.config:
+            payload["config"] = dict(self.config)
+        return payload
+
+
+def parse_request(payload: Mapping[str, Any]) -> SolveRequest:
+    """Validate and normalise a request dict into a :class:`SolveRequest`.
+
+    Accepts the legacy field spellings (``request_id``, ``terminals``,
+    ``dataset``, ``options``) with a :class:`DeprecationWarning`; raises
+    :class:`SchemaError` on malformed payloads or a ``schema_version``
+    newer than this library understands.
+    """
+    if not isinstance(payload, Mapping):
+        raise SchemaError(f"request must be a JSON object, got {type(payload).__name__}")
+    data = dict(payload)
+    for old, new in _LEGACY_REQUEST_FIELDS.items():
+        if old in data:
+            if new in data:
+                raise SchemaError(f"request has both {old!r} and {new!r}")
+            warnings.warn(
+                f"request field {old!r} is deprecated; use {new!r}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            data[new] = data.pop(old)
+
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if not isinstance(version, int) or version < 1:
+        raise SchemaError(f"invalid schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise SchemaError(
+            f"request schema_version {version} is newer than the supported "
+            f"version {SCHEMA_VERSION}"
+        )
+
+    req_id = data.get("id")
+    if req_id is None:
+        raise SchemaError("request is missing required field 'id'")
+    req_id = str(req_id)
+
+    op = data.get("op", "solve")
+    if op not in KNOWN_OPS:
+        raise SchemaError(f"unknown op {op!r}; known ops: {list(KNOWN_OPS)}")
+
+    graph = data.get("graph")
+    if graph is not None and not isinstance(graph, str):
+        raise SchemaError("'graph' must be a string dataset/graph name")
+
+    raw_seeds = data.get("seeds", ())
+    if raw_seeds is None:
+        raw_seeds = ()
+    if isinstance(raw_seeds, (str, bytes)) or not hasattr(raw_seeds, "__iter__"):
+        raise SchemaError("'seeds' must be a list of vertex ids")
+    try:
+        seeds = tuple(int(s) for s in raw_seeds)
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"'seeds' must be integers: {exc}") from None
+
+    config = data.get("config", {})
+    if config is None:
+        config = {}
+    if not isinstance(config, Mapping):
+        raise SchemaError("'config' must be a JSON object of SolverConfig fields")
+
+    if op == "solve":
+        if graph is None:
+            raise SchemaError("solve request is missing required field 'graph'")
+        if not seeds:
+            raise SchemaError("solve request needs a non-empty 'seeds' list")
+
+    return SolveRequest(
+        id=req_id,
+        op=op,
+        graph=graph,
+        seeds=seeds,
+        config=dict(config),
+        schema_version=version,
+    )
+
+
+# --------------------------------------------------------------------- #
+# results and responses
+# --------------------------------------------------------------------- #
+def result_payload(result) -> dict[str, Any]:
+    """The canonical JSON-safe dict form of a
+    :class:`~repro.core.result.SteinerTreeResult`."""
+    payload: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "seeds": jsonable(result.seeds),
+        "edges": jsonable(result.edges),
+        "n_edges": result.n_edges,
+        "total_distance": int(result.total_distance),
+        "wall_time_s": float(result.wall_time_s),
+        "sim_time_s": float(result.sim_time()),
+        "phases": [
+            {
+                "name": p.name,
+                "sim_time_s": float(p.sim_time),
+                "n_messages": int(p.n_messages),
+            }
+            for p in result.phases
+        ],
+        "provenance": jsonable(dict(result.provenance)),
+    }
+    if result.memory is not None:
+        payload["memory"] = {
+            "graph_bytes": int(result.memory.graph_bytes),
+            "runtime_bytes": int(result.memory.runtime_bytes),
+            "total_bytes": int(result.memory.total_bytes),
+        }
+    return payload
+
+
+def upgrade_result_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Normalise a result dict that may use pre-schema field names.
+
+    ``total`` -> ``total_distance``, ``tree_edges`` -> ``edges``,
+    ``terminals`` -> ``seeds``, ``wall_time`` -> ``wall_time_s``; each
+    legacy name triggers a :class:`DeprecationWarning`.  Canonical
+    payloads pass through unchanged (minus a ``schema_version`` stamp
+    added when absent).
+    """
+    data = dict(payload)
+    for old, new in _LEGACY_RESULT_FIELDS.items():
+        if old in data:
+            if new in data:
+                raise SchemaError(f"result has both {old!r} and {new!r}")
+            warnings.warn(
+                f"result field {old!r} is deprecated; use {new!r}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            data[new] = data.pop(old)
+    data.setdefault("schema_version", SCHEMA_VERSION)
+    return data
+
+
+def response_payload(request_id: str, result=None, **extra: Any) -> dict[str, Any]:
+    """A success envelope; ``result`` may be a
+    :class:`~repro.core.result.SteinerTreeResult` (serialised via
+    :func:`result_payload`) or an already-JSON-safe object (``stats``,
+    ``pong`` bodies) passed through ``extra``."""
+    payload: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "id": str(request_id),
+        "ok": True,
+    }
+    if result is not None:
+        payload["result"] = result_payload(result)
+    payload.update(jsonable(extra))
+    return payload
+
+
+def error_payload(request_id: str | None, error: BaseException | str) -> dict[str, Any]:
+    """The error envelope: ``ok: false`` plus a typed message."""
+    if isinstance(error, BaseException):
+        err = {"type": type(error).__name__, "message": str(error)}
+    else:
+        err = {"type": "Error", "message": str(error)}
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "id": str(request_id) if request_id is not None else None,
+        "ok": False,
+        "error": err,
+    }
+
+
+def dumps(payload: Mapping[str, Any]) -> str:
+    """Compact single-line JSON — the line-delimited protocol framing."""
+    return json.dumps(jsonable(dict(payload)), separators=(",", ":"))

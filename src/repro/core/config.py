@@ -2,13 +2,27 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import hashlib
+import json
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import Any, Optional
 
 from repro.runtime.cost_model import MachineModel
 from repro.runtime.queues import QueueDiscipline
 
-__all__ = ["SolverConfig"]
+__all__ = ["SolverConfig", "CONFIG_FIELD_ALIASES"]
+
+#: deprecated kwarg spelling -> canonical :class:`SolverConfig` field.
+#: These are the historical CLI-flag names that drifted from the config
+#: field names; :meth:`SolverConfig.from_kwargs` accepts them with a
+#: :class:`DeprecationWarning` so old call sites keep working.
+CONFIG_FIELD_ALIASES = {
+    "ranks": "n_ranks",
+    "queue": "discipline",
+    "backend": "voronoi_backend",
+    "num_workers": "workers",
+}
 
 
 @dataclass(frozen=True)
@@ -126,3 +140,67 @@ class SolverConfig:
             from repro.shortest_paths.backends import get_backend
 
             get_backend(self.voronoi_backend)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "SolverConfig":
+        """Build a config from keyword arguments, accepting the
+        deprecated alias spellings in :data:`CONFIG_FIELD_ALIASES`.
+
+        The canonical names are the dataclass field names; ``ranks``,
+        ``queue``, ``backend`` and ``num_workers`` (the historical
+        CLI-flag spellings) are mapped onto ``n_ranks``,
+        ``discipline``, ``voronoi_backend`` and ``workers`` with a
+        :class:`DeprecationWarning`.  Passing both an alias and its
+        canonical field raises :class:`TypeError`; so does any unknown
+        keyword.
+        """
+        resolved: dict[str, Any] = {}
+        field_names = {f.name for f in fields(cls)}
+        for key, value in kwargs.items():
+            if key in CONFIG_FIELD_ALIASES:
+                canonical = CONFIG_FIELD_ALIASES[key]
+                warnings.warn(
+                    f"SolverConfig keyword {key!r} is deprecated; "
+                    f"use {canonical!r}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                key = canonical
+            if key not in field_names:
+                raise TypeError(f"unknown SolverConfig field {key!r}")
+            if key in resolved:
+                raise TypeError(
+                    f"SolverConfig field {key!r} given twice "
+                    f"(canonical name and deprecated alias)"
+                )
+            resolved[key] = value
+        return cls(**resolved)
+
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Stable short hash over every behaviour-affecting field.
+
+        This is the ``config_fingerprint`` component of the serve/cache
+        key ``(graph_hash, frozenset(seeds), config_fingerprint)``: two
+        configurations share a fingerprint iff a cached result computed
+        under one is valid for the other.  Every dataclass field except
+        the derived ``bsp`` mirror participates (the machine model is
+        flattened into its constants), values are canonicalised
+        (enum -> value) and serialised with sorted keys, so the digest
+        is independent of field ordering and of dict-insertion order.
+        """
+        material: dict[str, Any] = {}
+        for f in fields(self):
+            if f.name == "bsp":  # derived from engine in __post_init__
+                continue
+            value = getattr(self, f.name)
+            if f.name == "machine":
+                value = {
+                    mf.name: getattr(value, mf.name) for mf in fields(value)
+                }
+            elif isinstance(value, QueueDiscipline):
+                value = value.value
+            material[f.name] = value
+        blob = json.dumps(material, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -51,6 +51,14 @@ class SteinerTreeResult:
         The Voronoi diagram, when requested via
         ``SolverConfig.collect_diagram`` (or always, for the sequential
         reference — it is a by-product there).
+    provenance:
+        How this result was produced — the cache/batching contract of
+        ``docs/serve.md``.  Keys the solver sets: ``engine``,
+        ``backend``, ``config_fingerprint``, ``cache_hit`` (and
+        ``graph_hash`` when a cache is attached); the serve layer adds
+        ``batch_size``, ``coalesced``, ``fused_sweep`` and
+        ``request_id``.  Always JSON-safe (scalars/strings only), so it
+        passes through :meth:`to_json` unmodified.
     """
 
     seeds: np.ndarray
@@ -60,6 +68,7 @@ class SteinerTreeResult:
     wall_time_s: float = 0.0
     memory: Optional[MemoryReport] = None
     diagram: Optional[VoronoiDiagram] = None
+    provenance: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     @property
@@ -156,6 +165,22 @@ class SteinerTreeResult:
         for u, v in zip(path, path[1:]):
             total += lookup[(min(u, v), max(u, v))]
         return total
+
+    def to_payload(self) -> dict[str, Any]:
+        """The canonical JSON-safe dict form — the shared schema of
+        :func:`repro.api.schema.result_payload` (``schema_version``,
+        ``seeds``, ``edges``, ``total_distance``, ``phases``,
+        ``provenance``, ...), the exact ``result`` object the serve
+        protocol returns."""
+        from repro.api.schema import result_payload
+
+        return result_payload(self)
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """:meth:`to_payload` as a JSON string."""
+        import json
+
+        return json.dumps(self.to_payload(), indent=indent)
 
     def summary(self) -> str:
         """One-line human-readable digest."""

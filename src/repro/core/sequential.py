@@ -9,11 +9,19 @@ Prim MST, and predecessor walks.  The distributed solver produces the
 share the canonical-predecessor rule, the distance-graph construction and
 the tree assembly — this equality is asserted by the integration tests
 and is the library's primary correctness anchor.
+
+:func:`steiner_tree_from_diagram` is the downstream half (steps 2-6) on
+its own: given a converged Voronoi diagram it deterministically produces
+the tree.  The serve layer's request batcher relies on this split — a
+fused multi-source sweep yields per-request diagrams, and each request's
+tree is assembled by exactly this code, so batched results are
+bit-identical to independent solves by construction.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Sequence
 
 import numpy as np
@@ -27,48 +35,39 @@ from repro.mst.union_find import UnionFind
 from repro.seeds.selection import validate_seed_set
 from repro.shortest_paths.backends import get_backend
 
-__all__ = ["sequential_steiner_tree"]
+__all__ = ["sequential_steiner_tree", "steiner_tree_from_diagram"]
 
 #: historical names predating the backend registry
 _BACKEND_ALIASES = {"heap": "dijkstra"}
 
 
-def sequential_steiner_tree(
+def steiner_tree_from_diagram(
     graph,
-    seeds: Sequence[int],
-    *,
-    backend: str = "delta-numpy",
-) -> SteinerTreeResult:
-    """2-approximate Steiner minimal tree, shared-memory reference.
+    seeds_arr: np.ndarray,
+    src: np.ndarray,
+    pred: np.ndarray,
+    dist: np.ndarray,
+) -> tuple[np.ndarray, int]:
+    """Assemble the Steiner tree from a converged Voronoi diagram.
 
-    Guarantees ``D(GS)/Dmin <= 2 (1 - 1/l)`` (Mehlhorn's bound via KMB).
+    Steps 2-6 of Algorithm 2: distance graph ``G'1``, sequential Prim
+    MST, pruning, predecessor walks and edge assembly.  Deterministic
+    given the diagram — every solve path (sequential, distributed,
+    batched serve) funnels through the same construction, which is what
+    makes their trees comparable bit-for-bit.
 
-    Parameters
-    ----------
-    backend:
-        Voronoi-cell kernel — any name registered in
-        :mod:`repro.shortest_paths.backends` (``"dijkstra"``,
-        ``"delta-numpy"``, ``"scipy"``, ...).  ``"heap"`` is kept as an
-        alias for the ``"dijkstra"`` reference.  Every backend yields
-        the identical diagram, hence the identical tree; the choice is
-        purely a performance decision — the default is the vectorised
-        ``"delta-numpy"`` kernel (~5-6x the heap reference on 100K-edge
-        graphs, bit-identical output).
+    Returns ``(edges, total_distance)`` where ``edges`` is the
+    ``int64[k, 3]`` row array of :class:`SteinerTreeResult`.
 
     Raises
     ------
     DisconnectedSeedsError
-        If the seeds are not mutually reachable.
+        If the seeds do not share a connected component.
     """
-    t0 = time.perf_counter()
-    seeds_arr = validate_seed_set(graph, seeds)
     k = seeds_arr.size
 
-    # Step 1: Voronoi cells (src, pred, dist per vertex)
-    vd = get_backend(_BACKEND_ALIASES.get(backend, backend))(graph, seeds_arr)
-
     # Step 2: distance graph G'1 with bridging edges
-    dg = build_distance_graph(graph, seeds_arr, vd.src, vd.dist)
+    dg = build_distance_graph(graph, seeds_arr, src, dist)
 
     # Step 3: sequential MST G'2 of G'1
     si, ti = dg.seed_indices()
@@ -85,10 +84,10 @@ def sequential_steiner_tree(
     active = np.zeros(dg.n_edges, dtype=bool)
     active[mst_idx] = True
     endpoints = np.concatenate([dg.u[active], dg.v[active]])
-    path_edges = walk_tree_edges(vd.src, vd.pred, vd.dist, endpoints)
+    path_edges = walk_tree_edges(src, pred, dist, endpoints)
 
     # Step 6: assemble GS
-    cross_w = dg.dprime[active] - vd.dist[dg.u[active]] - vd.dist[dg.v[active]]
+    cross_w = dg.dprime[active] - dist[dg.u[active]] - dist[dg.v[active]]
     edge_rows = {
         (int(min(u, v)), int(max(u, v))): int(w)
         for u, v, w in zip(dg.u[active], dg.v[active], cross_w)
@@ -100,6 +99,69 @@ def sequential_steiner_tree(
         dtype=np.int64,
     ).reshape(-1, 3)
     total = int(edges[:, 2].sum()) if edges.size else 0
+    return edges, total
+
+
+def sequential_steiner_tree(
+    graph,
+    seeds: Sequence[int],
+    *,
+    voronoi_backend: str | None = None,
+    backend: str | None = None,
+) -> SteinerTreeResult:
+    """2-approximate Steiner minimal tree, shared-memory reference.
+
+    Guarantees ``D(GS)/Dmin <= 2 (1 - 1/l)`` (Mehlhorn's bound via KMB).
+
+    Parameters
+    ----------
+    voronoi_backend:
+        Voronoi-cell kernel — any name registered in
+        :mod:`repro.shortest_paths.backends` (``"dijkstra"``,
+        ``"delta-numpy"``, ``"scipy"``, ...), matching the
+        :class:`~repro.core.config.SolverConfig` field of the same
+        name.  ``"heap"`` is kept as an alias for the ``"dijkstra"``
+        reference.  Every backend yields the identical diagram, hence
+        the identical tree; the choice is purely a performance
+        decision — the default is the vectorised ``"delta-numpy"``
+        kernel (~5-6x the heap reference on 100K-edge graphs,
+        bit-identical output).
+    backend:
+        Deprecated spelling of ``voronoi_backend`` (kept with a
+        :class:`DeprecationWarning` so pre-facade call sites keep
+        working).
+
+    Raises
+    ------
+    DisconnectedSeedsError
+        If the seeds are not mutually reachable.
+    """
+    if backend is not None:
+        if voronoi_backend is not None:
+            raise TypeError(
+                "pass voronoi_backend only (backend is its deprecated alias)"
+            )
+        warnings.warn(
+            "sequential_steiner_tree(backend=...) is deprecated; "
+            "use voronoi_backend=... (the SolverConfig field name)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        voronoi_backend = backend
+    if voronoi_backend is None:
+        voronoi_backend = "delta-numpy"
+
+    t0 = time.perf_counter()
+    seeds_arr = validate_seed_set(graph, seeds)
+    resolved = _BACKEND_ALIASES.get(voronoi_backend, voronoi_backend)
+
+    # Step 1: Voronoi cells (src, pred, dist per vertex)
+    vd = get_backend(resolved)(graph, seeds_arr)
+
+    # Steps 2-6: shared deterministic assembly
+    edges, total = steiner_tree_from_diagram(
+        graph, seeds_arr, vd.src, vd.pred, vd.dist
+    )
 
     return SteinerTreeResult(
         seeds=seeds_arr,
@@ -108,4 +170,5 @@ def sequential_steiner_tree(
         phases=[],
         wall_time_s=time.perf_counter() - t0,
         diagram=vd,
+        provenance={"backend": resolved, "cache_hit": False},
     )

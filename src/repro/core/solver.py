@@ -29,7 +29,8 @@ cluster-wide memory estimate (Fig. 8) and the tree itself.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from dataclasses import replace
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -69,11 +70,46 @@ class DistributedSteinerSolver:
     "graph partitioning and loading times" from its metric); ``solve``
     may then be called with many seed sets, as an interactive analyst
     session would.
+
+    Parameters
+    ----------
+    config:
+        A ready :class:`SolverConfig`; alternatively pass its fields as
+        keyword arguments (resolved via
+        :meth:`SolverConfig.from_kwargs`, so the deprecated
+        ``ranks``/``queue``/``backend`` spellings still work, with a
+        warning).  Mixing both raises :class:`TypeError`.
+    cache:
+        Optional result cache (duck-typed —
+        :class:`repro.serve.cache.SolveCache` is the shipped
+        implementation).  When present, ``solve`` is keyed by
+        ``(graph_hash, frozenset(seeds), config_fingerprint)``: a
+        solution hit skips the computation entirely (the returned
+        result carries ``provenance["cache_hit"] = True``), and — for
+        backend-driven configurations — a Voronoi-diagram hit skips the
+        multi-source sweep while still assembling phases 2-6.
     """
 
-    def __init__(self, graph, config: SolverConfig | None = None) -> None:
+    def __init__(
+        self,
+        graph,
+        config: SolverConfig | None = None,
+        *,
+        cache=None,
+        **config_kwargs,
+    ) -> None:
+        if config is not None and config_kwargs:
+            raise TypeError(
+                "pass either a SolverConfig or its fields as keyword "
+                f"arguments, not both: {sorted(config_kwargs)}"
+            )
         self.graph = graph
-        self.config = config or SolverConfig()
+        self.config = (
+            config
+            if config is not None
+            else SolverConfig.from_kwargs(**config_kwargs)
+        )
+        self.cache = cache
         partition_fn = (
             block_partition if self.config.partition == "block" else hash_partition
         )
@@ -84,8 +120,44 @@ class DistributedSteinerSolver:
         )
 
     # ------------------------------------------------------------------ #
-    def solve(self, seeds: Sequence[int]) -> SteinerTreeResult:
+    def solution_key(self, seeds: Sequence[int]) -> tuple:
+        """The cache key of one solve: ``(graph_hash, frozenset(seeds),
+        config_fingerprint)`` — the contract documented in
+        ``docs/serve.md``."""
+        return (
+            self.graph.content_hash(),
+            frozenset(int(s) for s in seeds),
+            self.config.fingerprint(),
+        )
+
+    def _diagram_key(self, seeds_arr: np.ndarray) -> tuple:
+        """Diagram cache key: like :meth:`solution_key` but fingerprinted
+        by the sweep kernel alone — any configuration sharing the
+        backend shares the converged diagram."""
+        return (
+            self.graph.content_hash(),
+            frozenset(int(s) for s in seeds_arr),
+            f"diagram:{self.config.voronoi_backend}",
+        )
+
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        seeds: Sequence[int],
+        *,
+        diagram: VoronoiDiagram | None = None,
+    ) -> SteinerTreeResult:
         """Compute a 2-approximate Steiner minimal tree for ``seeds``.
+
+        Parameters
+        ----------
+        diagram:
+            A pre-converged Voronoi diagram for exactly these seeds —
+            the serve batcher passes the per-request slice of a fused
+            multi-source sweep here, skipping phase 1 while phases 2-6
+            run normally.  Because every diagram is the canonical
+            ``(dist, owner)`` fixpoint, the resulting tree is
+            bit-identical to an independent solve.
 
         Raises
         ------
@@ -99,6 +171,32 @@ class DistributedSteinerSolver:
         k = seeds_arr.size
         phases: list[PhaseStats] = []
 
+        provenance: dict[str, Any] = {
+            "engine": cfg.engine,
+            "backend": cfg.voronoi_backend,
+            "config_fingerprint": cfg.fingerprint(),
+            "cache_hit": False,
+        }
+        if self.cache is not None:
+            provenance["graph_hash"] = self.graph.content_hash()
+            key = self.solution_key(seeds_arr)
+            cached = self.cache.get_solution(key)
+            if cached is not None:
+                return replace(
+                    cached,
+                    wall_time_s=time.perf_counter() - t0,
+                    provenance={**cached.provenance, "cache_hit": True},
+                )
+
+        if diagram is not None:
+            if not np.array_equal(
+                np.asarray(diagram.seeds, dtype=np.int64), seeds_arr
+            ):
+                raise ValueError(
+                    "injected diagram was computed for a different seed set"
+                )
+            provenance["sweep"] = "injected"
+
         engine = make_engine(
             cfg.engine,
             self.partition,
@@ -111,11 +209,21 @@ class DistributedSteinerSolver:
         try:
             # ---- Phase 1: Voronoi Cell (Alg. 4) --------------------------- #
             # Either simulate the asynchronous message-driven kernel (the
-            # paper-faithful default, yields the Figs. 3-6 message trace) or
-            # run a sequential backend from the registry — both converge to
-            # the same deterministic (dist, owner) fixpoint, so phases 2-6
-            # and the output tree are identical.
-            if cfg.voronoi_backend is None:
+            # paper-faithful default, yields the Figs. 3-6 message trace),
+            # run a sequential backend from the registry, or adopt a
+            # pre-converged diagram (injected by the serve batcher or found
+            # in the diagram cache) — all converge to the same deterministic
+            # (dist, owner) fixpoint, so phases 2-6 and the output tree are
+            # identical.
+            if diagram is not None:
+                src, dist, pred = diagram.src, diagram.dist, diagram.pred
+                vc_stats = PhaseStats(
+                    name=PHASE_NAMES[0],
+                    sim_time=0.0,
+                    busy_time=np.zeros(cfg.n_ranks),
+                )
+            elif cfg.voronoi_backend is None:
+                provenance["sweep"] = "simulated"
                 program = VoronoiProgram(self.partition)
                 vc_stats = engine.run_phase(
                     PHASE_NAMES[0],
@@ -127,17 +235,36 @@ class DistributedSteinerSolver:
                 src, dist = program.src, program.dist
                 pred = canonicalize_predecessors(self.graph, src, dist)
             else:
-                from repro.shortest_paths.backends import compute_multisource
+                cached_vd = None
+                if self.cache is not None:
+                    cached_vd = self.cache.get_diagram(
+                        self._diagram_key(seeds_arr)
+                    )
+                if cached_vd is not None:
+                    provenance["sweep"] = "diagram-cache"
+                    src, dist, pred = cached_vd.src, cached_vd.dist, cached_vd.pred
+                    vc_stats = PhaseStats(
+                        name=PHASE_NAMES[0],
+                        sim_time=0.0,
+                        busy_time=np.zeros(cfg.n_ranks),
+                    )
+                else:
+                    from repro.shortest_paths.backends import compute_multisource
 
-                ms = compute_multisource(
-                    self.graph, seeds_arr, backend=cfg.voronoi_backend
-                )
-                src, dist, pred = ms.src, ms.dist, ms.pred
-                vc_stats = PhaseStats(
-                    name=PHASE_NAMES[0],
-                    sim_time=ms.elapsed_s,
-                    busy_time=np.zeros(cfg.n_ranks),
-                )
+                    provenance["sweep"] = "backend"
+                    ms = compute_multisource(
+                        self.graph, seeds_arr, backend=cfg.voronoi_backend
+                    )
+                    src, dist, pred = ms.src, ms.dist, ms.pred
+                    if self.cache is not None:
+                        self.cache.put_diagram(
+                            self._diagram_key(seeds_arr), ms.diagram
+                        )
+                    vc_stats = PhaseStats(
+                        name=PHASE_NAMES[0],
+                        sim_time=ms.elapsed_s,
+                        busy_time=np.zeros(cfg.n_ranks),
+                    )
             phases.append(vc_stats)
 
             # ---- Phase 2: Local Min Dist. Edge (Alg. 5, local) ------------ #
@@ -239,19 +366,25 @@ class DistributedSteinerSolver:
             n_distance_edges=resident_pairs,
             machine=machine,
         )
-        diagram = None
+        out_diagram = None
         if cfg.collect_diagram:
-            diagram = VoronoiDiagram(seeds=seeds_arr, src=src, pred=pred, dist=dist)
+            out_diagram = VoronoiDiagram(
+                seeds=seeds_arr, src=src, pred=pred, dist=dist
+            )
 
-        return SteinerTreeResult(
+        result = SteinerTreeResult(
             seeds=seeds_arr,
             edges=edges,
             total_distance=total,
             phases=phases,
             wall_time_s=time.perf_counter() - t0,
             memory=memory,
-            diagram=diagram,
+            diagram=out_diagram,
+            provenance=provenance,
         )
+        if self.cache is not None:
+            self.cache.put_solution(self.solution_key(seeds_arr), result)
+        return result
 
     # ------------------------------------------------------------------ #
     def _collective_time(self, n_elements: int, elem_bytes: int) -> float:
@@ -294,7 +427,17 @@ def distributed_steiner_tree(
     seeds: Sequence[int],
     *,
     config: SolverConfig | None = None,
+    cache=None,
+    **config_kwargs,
 ) -> SteinerTreeResult:
     """One-shot convenience wrapper around
-    :class:`DistributedSteinerSolver`."""
-    return DistributedSteinerSolver(graph, config).solve(seeds)
+    :class:`DistributedSteinerSolver`.
+
+    Configuration may be given as a ready :class:`SolverConfig` *or* as
+    keyword arguments in its field names (deprecated alias spellings
+    are accepted with a warning — see
+    :meth:`SolverConfig.from_kwargs`).
+    """
+    return DistributedSteinerSolver(
+        graph, config, cache=cache, **config_kwargs
+    ).solve(seeds)

@@ -17,6 +17,7 @@ vectorised (sort-based) so million-edge graphs build in well under a second.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Tuple
 
 import numpy as np
@@ -43,7 +44,7 @@ class CSRGraph:
     vertex-centric runtime, whose visitors scan out-neighbours).
     """
 
-    __slots__ = ("indptr", "indices", "weights", "_n_vertices")
+    __slots__ = ("indptr", "indices", "weights", "_n_vertices", "_content_hash")
 
     def __init__(
         self,
@@ -71,6 +72,7 @@ class CSRGraph:
         self.indices = indices
         self.weights = weights
         self._n_vertices = indptr.size - 1
+        self._content_hash: str | None = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -300,6 +302,22 @@ class CSRGraph:
     def total_weight(self) -> int:
         """Sum of all undirected edge weights."""
         return int(self.weights.sum()) // 2
+
+    def content_hash(self) -> str:
+        """SHA-256 over the CSR arrays, memoised on the instance.
+
+        Two graphs share a content hash iff they are :meth:`__eq__`-equal;
+        this is the ``graph_hash`` component of the serve/cache key
+        ``(graph_hash, frozenset(seeds), config_fingerprint)``.  The
+        O(|E|) hashing cost is paid once per graph object.
+        """
+        if self._content_hash is None:
+            h = hashlib.sha256()
+            for arr in (self.indptr, self.indices, self.weights):
+                h.update(str(arr.size).encode())
+                h.update(np.ascontiguousarray(arr).data)
+            self._content_hash = h.hexdigest()[:16]
+        return self._content_hash
 
     # ------------------------------------------------------------------ #
     # dunder

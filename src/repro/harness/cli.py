@@ -18,6 +18,15 @@ Subcommands
     ``bsp-mp`` process pool); ``--backend simulate`` (default) runs the
     message-driven Voronoi phase; any registered shortest-path backend
     name computes the identical tree via that sequential kernel.
+``serve [--tcp HOST:PORT] [--preload LVJ,MCO] [--backend delta-numpy]
+[--ranks 16] [--engine ...] [--batch-window-ms 5] [--max-batch 8]
+[--cache-size 128] [--disk-cache DIR] [--no-cache]``
+    Run the persistent solver service (see ``docs/serve.md``): graphs
+    load once, concurrent requests sharing a graph are coalesced into
+    fused multi-source sweeps, and repeated requests hit the result
+    cache.  Default transport is line-delimited JSON on stdin/stdout;
+    ``--tcp`` listens on a socket instead (``:0`` picks a free port,
+    printed on startup).
 ``backends [--bench] [--dataset LVJ] [--seeds 30]``
     List the registered multi-source shortest-path backends; with
     ``--bench``, time each one on the chosen instance and verify they
@@ -123,6 +132,65 @@ def _cmd_solve(args) -> int:
             f"  {p.name:<24} {fmt_time(p.sim_time):>8}  "
             f"msgs={fmt_si(p.n_messages)}"
         )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.core.config import SolverConfig
+    from repro.serve import SolveCache, SolverService, make_tcp_server, serve_stdio
+
+    backend = None if args.backend == "simulate" else args.backend
+    try:
+        config = SolverConfig(
+            n_ranks=args.ranks,
+            engine=args.engine,
+            workers=args.workers,
+            voronoi_backend=backend,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache: SolveCache | bool = (
+        False
+        if args.no_cache
+        else SolveCache(max_solutions=args.cache_size, disk_dir=args.disk_cache)
+    )
+    service = SolverService(
+        config=config,
+        cache=cache,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        max_batch=args.max_batch,
+    )
+    for name in filter(None, (args.preload or "").split(",")):
+        try:
+            service.open_graph(name.strip())
+        except KeyError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            service.close()
+            return 2
+        print(f"preloaded graph {name.strip()!r}", file=sys.stderr)
+
+    try:
+        if args.tcp:
+            host, _, port_s = args.tcp.rpartition(":")
+            host = host or "127.0.0.1"
+            try:
+                port = int(port_s)
+            except ValueError:
+                print(f"error: --tcp wants HOST:PORT, got {args.tcp!r}",
+                      file=sys.stderr)
+                return 2
+            with make_tcp_server(service, host, port) as server:
+                bound_host, bound_port = server.server_address[:2]
+                # announced on stdout so wrappers can scrape the port
+                print(f"listening on {bound_host}:{bound_port}", flush=True)
+                server.serve_forever(poll_interval=0.1)
+        else:
+            serve_stdio(service)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        service.close()
     return 0
 
 
@@ -292,6 +360,55 @@ def build_parser() -> argparse.ArgumentParser:
         "(see `repro-steiner backends`)",
     )
     p_solve.set_defaults(func=_cmd_solve)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the persistent solver service"
+    )
+    p_serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="listen on a TCP socket instead of stdin/stdout "
+        "(':0' binds a free port, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--preload",
+        default="",
+        metavar="NAMES",
+        help="comma-separated dataset names to load before serving",
+    )
+    p_serve.add_argument(
+        "--backend",
+        default="delta-numpy",
+        help="default Voronoi backend for requests that do not override "
+        "it; 'simulate' runs the message-driven engine (no sweep fusion)",
+    )
+    p_serve.add_argument("--ranks", type=int, default=16)
+    p_serve.add_argument("--engine", default="async-heap")
+    p_serve.add_argument("--workers", type=int, default=None)
+    p_serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="how long to wait for coalescable requests after the first "
+        "pending one (0 disables batching delays)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=8,
+        help="max requests fused into one multi-source sweep",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=128,
+        help="LRU capacity (solutions) of the result cache",
+    )
+    p_serve.add_argument(
+        "--disk-cache", default=None, metavar="DIR",
+        help="persist solutions under DIR so they survive restarts",
+    )
+    p_serve.add_argument(
+        "--no-cache", action="store_true", help="disable result caching"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_back = sub.add_parser(
         "backends", help="list/bench the shortest-path backends"

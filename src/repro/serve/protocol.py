@@ -1,0 +1,137 @@
+"""Line-delimited JSON protocol over any byte-stream transport.
+
+One request per line in, one response per line out — the shapes are
+defined once in :mod:`repro.api.schema` (``schema_version`` 1).  The
+handler is transport-agnostic: :mod:`repro.serve.server` wires it to
+stdio and TCP, tests drive it with plain strings.
+
+Robustness contract: a malformed line (bad JSON, unknown op, missing
+fields) produces an ``ok: false`` error envelope on the output stream
+and the connection stays up; only EOF or an explicit ``shutdown`` op
+ends the conversation.  Solve responses are written as they complete —
+batched requests resolve together, so responses may arrive out of
+request order; clients correlate by ``id``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Callable
+
+from repro.api.schema import (
+    SchemaError,
+    SolveRequest,
+    dumps,
+    error_payload,
+    parse_request,
+    response_payload,
+)
+from repro.serve.service import SolverService
+
+__all__ = ["ProtocolHandler"]
+
+
+class ProtocolHandler:
+    """One protocol conversation: parses lines, dispatches ops, writes
+    envelopes.
+
+    Parameters
+    ----------
+    service:
+        The shared :class:`~repro.serve.service.SolverService`; several
+        handlers (TCP connections) may point at one service.
+    write:
+        ``write(line)`` sink for response lines (no trailing newline).
+        Called from the caller's thread for control ops and from the
+        service's batching worker for solve completions — an internal
+        lock serialises the two.
+    on_shutdown:
+        Invoked once when this conversation sees a ``shutdown`` op
+        (after the acknowledgement is written); the transport uses it
+        to stop its accept loop.
+    """
+
+    def __init__(
+        self,
+        service: SolverService,
+        write: Callable[[str], None],
+        *,
+        on_shutdown: Callable[[], None] | None = None,
+    ) -> None:
+        self.service = service
+        self._write = write
+        self._on_shutdown = on_shutdown
+        self._write_lock = threading.Lock()
+        self._inflight: list = []  # pending slots awaiting resolution
+
+    # ------------------------------------------------------------------ #
+    def send(self, payload: dict) -> None:
+        """Serialise and write one response line (thread-safe)."""
+        line = dumps(payload)
+        with self._write_lock:
+            self._write(line)
+
+    def handle_line(self, line: str) -> bool:
+        """Process one request line; returns ``False`` when the
+        conversation should end (``shutdown``), ``True`` otherwise."""
+        line = line.strip()
+        if not line:
+            return True
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self.send(error_payload(None, SchemaError(f"invalid JSON: {exc}")))
+            return True
+        try:
+            request = parse_request(payload)
+        except SchemaError as exc:
+            rid = payload.get("id") if isinstance(payload, dict) else None
+            self.send(error_payload(rid, exc))
+            return True
+        return self.handle_request(request)
+
+    def handle_request(self, request: SolveRequest) -> bool:
+        """Dispatch one parsed request; same return contract as
+        :meth:`handle_line`."""
+        op = request.op
+        if op == "ping":
+            self.send(response_payload(request.id, pong=True))
+            return True
+        if op == "stats":
+            self.send(response_payload(request.id, stats=self.service.stats()))
+            return True
+        if op == "graphs":
+            self.send(response_payload(request.id, graphs=self.service.graphs()))
+            return True
+        if op == "shutdown":
+            self.drain()
+            self.send(response_payload(request.id, shutting_down=True))
+            if self._on_shutdown is not None:
+                self._on_shutdown()
+            return False
+
+        # solve: submit without blocking the read loop; the batching
+        # worker resolves the slot and _completed writes the envelope
+        try:
+            pending = self.service.submit(request, on_done=self._completed)
+        except Exception as exc:
+            self.send(error_payload(request.id, exc))
+            return True
+        self._inflight.append(pending)
+        return True
+
+    # ------------------------------------------------------------------ #
+    def _completed(self, pending) -> None:
+        self._inflight = [p for p in self._inflight if p is not pending]
+        if pending.error is not None:
+            self.send(error_payload(pending.request.id, pending.error))
+        else:
+            self.send(response_payload(pending.request.id, result=pending.result))
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every in-flight solve of this conversation has
+        been answered (EOF and ``shutdown`` call this so no accepted
+        request is silently dropped)."""
+        for pending in list(self._inflight):
+            pending.event.wait(timeout)

@@ -240,7 +240,7 @@ class TestSolverIntegration:
     def test_sequential_tree_under_backends(self, random_graph, backend):
         seeds = component_seeds(random_graph, 5, seed=9)
         ref = sequential_steiner_tree(random_graph, seeds)
-        alt = sequential_steiner_tree(random_graph, seeds, backend=backend)
+        alt = sequential_steiner_tree(random_graph, seeds, voronoi_backend=backend)
         assert np.array_equal(ref.edges, alt.edges)
 
     def test_mehlhorn_backend_parity(self, random_graph):

@@ -345,15 +345,20 @@ class TestSolverConfig:
 
 
 class TestSequentialDefaultBackend:
-    def test_default_is_vectorised(self):
-        """ROADMAP lever from PR 1: the shared-memory entry point now
-        defaults to the delta-numpy kernel."""
+    def test_default_is_vectorised(self, random_graph):
+        """ROADMAP lever from PR 1: the shared-memory entry point
+        defaults to the delta-numpy kernel (the parameter is now spelled
+        ``voronoi_backend``, matching the SolverConfig field; ``None``
+        resolves to the vectorised default)."""
         import inspect
 
         from repro.core.sequential import sequential_steiner_tree
 
         sig = inspect.signature(sequential_steiner_tree)
-        assert sig.parameters["backend"].default == "delta-numpy"
+        assert "voronoi_backend" in sig.parameters
+        seeds = component_seeds(random_graph, 4, seed=17)
+        res = sequential_steiner_tree(random_graph, seeds)
+        assert res.provenance["backend"] == "delta-numpy"
 
     def test_default_matches_reference(self, random_graph):
         from repro.core.sequential import sequential_steiner_tree
@@ -361,7 +366,7 @@ class TestSequentialDefaultBackend:
         seeds = component_seeds(random_graph, 5, seed=17)
         default = sequential_steiner_tree(random_graph, seeds)
         reference = sequential_steiner_tree(
-            random_graph, seeds, backend="dijkstra"
+            random_graph, seeds, voronoi_backend="dijkstra"
         )
         assert np.array_equal(default.edges, reference.edges)
         assert default.total_distance == reference.total_distance

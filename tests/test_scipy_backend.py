@@ -72,12 +72,14 @@ class TestBitEquality:
 class TestBackendOption:
     def test_sequential_tree_backends_agree(self, random_graph):
         seeds = component_seeds(random_graph, 5, seed=4)
-        heap = sequential_steiner_tree(random_graph, seeds, backend="heap")
-        scipy_res = sequential_steiner_tree(random_graph, seeds, backend="scipy")
+        heap = sequential_steiner_tree(random_graph, seeds, voronoi_backend="heap")
+        scipy_res = sequential_steiner_tree(
+            random_graph, seeds, voronoi_backend="scipy"
+        )
         assert np.array_equal(heap.edges, scipy_res.edges)
         assert heap.total_distance == scipy_res.total_distance
 
     def test_unknown_backend_rejected(self, random_graph):
         seeds = component_seeds(random_graph, 3, seed=5)
         with pytest.raises(ValueError, match="backend"):
-            sequential_steiner_tree(random_graph, seeds, backend="cuda")
+            sequential_steiner_tree(random_graph, seeds, voronoi_backend="cuda")
