@@ -11,8 +11,22 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_engines.py             # full suite
     PYTHONPATH=src python benchmarks/bench_engines.py --quick     # tiny CI suite
+    PYTHONPATH=src python benchmarks/bench_engines.py --suite scale  # 1M edges
     PYTHONPATH=src python benchmarks/bench_engines.py --quick \
         --check benchmarks/BENCH_engines_baseline.json            # regression gate
+
+Suites: ``quick`` (~6K edges), ``full`` (~100K edges), ``scale`` (1M
+edges — only the vectorised/compiled engines run; the per-message
+``bsp``/``async-heap`` executors push millions of Python callbacks and
+would take hours, so the scale speedup column is relative to
+``bsp-batched``) and ``xl`` (10M edges, on-demand, no committed
+baseline).  Native (numba) kernels are compiled by an explicit
+:func:`repro.native.warmup` call before any timing loop (pinned cache
+dir, see ``repro.native``), so JIT compilation never lands inside a
+timing column.  The ``bsp-native`` engine is gated against
+``bsp-batched`` with ``--min-speedup-native`` (the CI numba job uses
+2.0 on the scale suite); without numba the entry runs as its twin and
+the gate is skipped with a note.
 
 The regression gate compares the *wall-clock speedup ratio* of the
 vectorised ``bsp-batched`` engine over the per-message ``bsp`` engine
@@ -51,8 +65,10 @@ from repro.core.voronoi_visitor import VoronoiProgram
 from repro.graph.connectivity import largest_component_vertices
 from repro.graph.generators import erdos_renyi_graph, grid_graph, rmat_graph
 from repro.graph.weights import assign_uniform_weights
+from repro.native import native_status, warmup
 from repro.runtime.engines import (
     available_engines,
+    engine_availability,
     run_phase_with,
     verify_engines_agree,
 )
@@ -62,6 +78,9 @@ from repro.runtime.partition import block_partition
 GATED_ENGINE = "bsp-batched"
 MP_ENGINE = "bsp-mp"
 REFERENCE_ENGINE = "bsp"
+#: the JIT-tier gate: bsp-native vs bsp-batched (skipped without numba)
+NATIVE_ENGINE = "bsp-native"
+NATIVE_REFERENCE = "bsp-batched"
 
 #: simulated world size for every run (the paper's ranks-per-node)
 N_RANKS = 16
@@ -99,6 +118,45 @@ SUITES = {
         ),
         "grid-5k-unit": (lambda: grid_graph(50, 50), 8),
     },
+    "scale": {
+        "rmat-1m-w100": (
+            lambda: assign_uniform_weights(
+                rmat_graph(17, 8, seed=1), (1, 100), seed=2
+            ),
+            50,
+        ),
+        "er-1m-w100": (
+            lambda: assign_uniform_weights(
+                erdos_renyi_graph(250_000, 1_000_000, seed=3), (1, 100), seed=4
+            ),
+            50,
+        ),
+    },
+    "xl": {
+        "rmat-10m-w100": (
+            lambda: assign_uniform_weights(
+                rmat_graph(20, 10, seed=1), (1, 100), seed=2
+            ),
+            100,
+        ),
+    },
+}
+
+#: which engines a suite runs (None = every registered engine) and
+#: which one its speedup column is relative to.  The per-message
+#: executors (async-heap, bsp) are infeasible at >=1M edges, so the
+#: scale/xl suites run the vectorised family and rebase on bsp-batched.
+SUITE_ENGINES: dict[str, list[str] | None] = {
+    "full": None,
+    "quick": None,
+    "scale": ["bsp-batched", "bsp-mp", "bsp-native"],
+    "xl": ["bsp-batched", "bsp-native"],
+}
+SUITE_REFERENCE = {
+    "full": REFERENCE_ENGINE,
+    "quick": REFERENCE_ENGINE,
+    "scale": "bsp-batched",
+    "xl": "bsp-batched",
 }
 
 
@@ -109,10 +167,20 @@ def pick_seeds(graph, k: int, rng_seed: int = 1) -> np.ndarray:
     return np.sort(rng.choice(comp, size=min(k, comp.size), replace=False))
 
 
+def suite_engine_names(suite: str) -> list[str]:
+    """The suite's engine subset, restricted to registered names."""
+    subset = SUITE_ENGINES[suite]
+    names = available_engines()
+    if subset is None:
+        return names
+    return [e for e in subset if e in names]
+
+
 def bench_graph(
-    name: str, builder, k: int, repeats: int, workers: int | None
+    name: str, builder, k: int, repeats: int, workers: int | None,
+    engine_names: list[str], reference: str,
 ) -> dict:
-    """Time every engine on one graph; returns the per-graph record."""
+    """Time the suite's engines on one graph; returns the record."""
     graph = builder()
     seeds = pick_seeds(graph, k)
     partition = block_partition(graph, N_RANKS)
@@ -127,21 +195,26 @@ def bench_graph(
         fresh_program,
         lambda prog: prog.initial_messages(seeds),
         lambda prog: (prog.src, prog.dist),
+        engines=engine_names,
         workers=workers,
     )
-    ref_stats = verified[REFERENCE_ENGINE].stats
-    for gated in (GATED_ENGINE, MP_ENGINE):
+    count_ref = reference if reference.startswith("bsp") else REFERENCE_ENGINE
+    ref_stats = verified[count_ref].stats
+    for gated in engine_names:
+        if not gated.startswith("bsp") or gated == count_ref:
+            continue
         gated_stats = verified[gated].stats
         if (ref_stats.n_messages_local, ref_stats.n_messages_remote) != (
             gated_stats.n_messages_local,
             gated_stats.n_messages_remote,
         ):
             raise AssertionError(
-                f"{gated} message counts diverged from {REFERENCE_ENGINE}"
+                f"{gated} message counts diverged from {count_ref}"
             )
 
     engines: dict[str, dict] = {}
-    for engine in available_engines():
+    availability = engine_availability()
+    for engine in engine_names:
         best = None
         for _ in range(repeats):
             prog = fresh_program()
@@ -159,9 +232,10 @@ def bench_graph(
                     "messages": result.stats.n_messages,
                     "supersteps": result.n_supersteps,
                     "workers": result.workers,
+                    "status": availability[engine]["status"],
                 }
         engines[engine] = best
-    ref = engines[REFERENCE_ENGINE]["seconds"]
+    ref = engines[reference]["seconds"]
     for record in engines.values():
         record["speedup"] = round(ref / record["seconds"], 3)
 
@@ -169,18 +243,21 @@ def bench_graph(
     for engine, record in engines.items():
         ss = record["supersteps"]
         w = record["workers"]
+        note = "" if record["status"] == "available" else f" [{record['status']}]"
         print(
             f"  {engine:14s} {record['seconds'] * 1e3:9.2f} ms"
-            f"  {record['speedup']:6.2f}x vs {REFERENCE_ENGINE}"
+            f"  {record['speedup']:6.2f}x vs {reference}"
             f"  msgs={record['messages']}"
             + (f" supersteps={ss}" if ss is not None else "")
             + (f" workers={w}" if w is not None else "")
+            + note
         )
     return {
         "n_vertices": graph.n_vertices,
         "n_edges": graph.n_edges,
         "n_seeds": int(seeds.size),
         "n_ranks": N_RANKS,
+        "reference": reference,
         "engines": engines,
     }
 
@@ -191,14 +268,19 @@ def check_baseline(
     tolerance: float,
     min_speedup: float | None,
     min_speedup_mp: float | None,
+    min_speedup_native: float | None,
 ) -> int:
     """Gate: fail when a gated engine's speedup regressed.
 
     Each gated engine (``bsp-batched``, ``bsp-mp``) is compared against
     its own baseline entry; a graph/engine pair absent from the baseline
-    is skipped (lets the baseline trail new suites by one PR).
+    is skipped (lets the baseline trail new suites by one PR).  The
+    JIT-tier gate (``bsp-native`` vs ``bsp-batched``) additionally
+    needs numba — without it the engine runs as its twin and the ratio
+    is ~1 by construction, so the gate is skipped with a note.
     """
     baseline = json.loads(baseline_path.read_text())
+    native_active = native_status()["available"]
     failures = []
     gates = ((GATED_ENGINE, min_speedup), (MP_ENGINE, min_speedup_mp))
     for name, record in results.items():
@@ -206,13 +288,17 @@ def check_baseline(
         if base_graph is None:
             print(f"[check] {name}: no baseline entry, skipping")
             continue
+        engines = record["engines"]
+        reference = record.get("reference", REFERENCE_ENGINE)
         for engine, abs_floor in gates:
+            if engine not in engines or engine == reference:
+                continue  # suite reference or absent: ratio not meaningful
             base_engine = base_graph["engines"].get(engine)
             if base_engine is None:
                 print(f"[check] {name}: no {engine} baseline, skipping")
                 continue
             base = base_engine["speedup"]
-            measured = record["engines"][engine]["speedup"]
+            measured = engines[engine]["speedup"]
             floor = base * (1.0 - tolerance)
             if abs_floor is not None:
                 floor = max(floor, abs_floor)
@@ -223,6 +309,35 @@ def check_baseline(
             )
             if measured < floor:
                 failures.append(f"{name}:{engine}")
+        if NATIVE_ENGINE in engines:
+            if not native_active:
+                print(
+                    f"[check] {name}: {NATIVE_ENGINE} runs as its twin "
+                    f"(numba absent), JIT gate skipped"
+                )
+            else:
+                measured = (
+                    engines[NATIVE_REFERENCE]["seconds"]
+                    / engines[NATIVE_ENGINE]["seconds"]
+                )
+                floor = 0.0
+                base_engine = base_graph["engines"].get(NATIVE_ENGINE)
+                if (
+                    base_engine is not None
+                    and base_engine.get("status") == "available"
+                ):
+                    base_ref = base_graph["engines"][NATIVE_REFERENCE]
+                    base = base_ref["seconds"] / base_engine["seconds"]
+                    floor = base * (1.0 - tolerance)
+                if min_speedup_native is not None:
+                    floor = max(floor, min_speedup_native)
+                status = "OK" if measured >= floor else "REGRESSED"
+                print(
+                    f"[check] {name}: {NATIVE_ENGINE} speedup {measured:.2f}x "
+                    f"vs {NATIVE_REFERENCE} (floor {floor:.2f}x) {status}"
+                )
+                if measured < floor:
+                    failures.append(f"{name}:{NATIVE_ENGINE}")
     if failures:
         print(f"[check] FAILED: regressions on {failures}")
         return 1
@@ -233,7 +348,13 @@ def check_baseline(
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--quick", action="store_true", help="tiny inputs (CI smoke job)"
+        "--quick", action="store_true",
+        help="tiny inputs (CI smoke job); alias for --suite quick",
+    )
+    parser.add_argument(
+        "--suite", choices=sorted(SUITES), default=None,
+        help="workload size: quick (~6K edges), full (~100K, default), "
+        "scale (1M, vectorised/compiled engines only), xl (10M, on-demand)",
     )
     parser.add_argument(
         "--out", type=Path, default=Path("BENCH_engines.json"),
@@ -261,15 +382,35 @@ def main(argv: list[str] | None = None) -> int:
         "(CI gate: 1.5 at the default 2-worker pool)",
     )
     parser.add_argument(
+        "--min-speedup-native", type=float, default=None,
+        help="absolute floor for bsp-native vs bsp-batched (the CI "
+        "numba job gates 2.0 on the scale suite); ignored without numba",
+    )
+    parser.add_argument(
         "--workers", type=int, default=None,
         help="bsp-mp process-pool size (default: the engine's fixed "
         "DEFAULT_WORKERS, for run-to-run reproducibility)",
     )
     args = parser.parse_args(argv)
+    if args.suite and args.quick:
+        parser.error("--quick and --suite are mutually exclusive")
+    suite = args.suite or ("quick" if args.quick else "full")
 
-    suite = "quick" if args.quick else "full"
+    status = native_status()
+    n_warmed = warmup()  # JIT compilation happens HERE, not in a timing loop
+    print(
+        f"native tier: {'numba ' + str(status['version']) if status['available'] else 'absent'}"
+        + (f" (warmed {n_warmed} kernel modules,"
+           f" cache {status['cache_dir']})" if status["available"] else
+           f" ({status['reason']}) — bsp-native runs as its NumPy twin")
+    )
+
+    engine_names = suite_engine_names(suite)
+    reference = SUITE_REFERENCE[suite]
     results = {
-        name: bench_graph(name, builder, k, args.repeats, args.workers)
+        name: bench_graph(
+            name, builder, k, args.repeats, args.workers, engine_names, reference
+        )
         for name, (builder, k) in SUITES[suite].items()
     }
     payload = {
@@ -281,7 +422,9 @@ def main(argv: list[str] | None = None) -> int:
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "gated_engine": GATED_ENGINE,
             "mp_engine": MP_ENGINE,
-            "reference_engine": REFERENCE_ENGINE,
+            "native_engine": NATIVE_ENGINE,
+            "reference_engine": reference,
+            "native": status,
         },
         "results": results,
     }
@@ -295,6 +438,7 @@ def main(argv: list[str] | None = None) -> int:
             args.tolerance,
             args.min_speedup,
             args.min_speedup_mp,
+            args.min_speedup_native,
         )
     return 0
 

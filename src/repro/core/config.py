@@ -54,10 +54,13 @@ class SolverConfig:
         ``"bsp"`` (per-message bulk-synchronous supersteps, the §IV
         ablation baseline), ``"bsp-batched"`` (vectorised supersteps —
         identical semantics and message counts to ``"bsp"``, NumPy
-        array operations instead of per-message Python) or ``"bsp-mp"``
+        array operations instead of per-message Python), ``"bsp-mp"``
         (the batched supersteps sharded across a pool of forked worker
-        processes — true cross-rank parallelism, same counts again).
-        Every engine converges to the identical Steiner tree.
+        processes — true cross-rank parallelism, same counts again) or
+        ``"bsp-native"`` (each superstep fused into one numba-JIT
+        kernel; transparently runs as ``"bsp-batched"`` when numba is
+        not installed — same counts either way).  Every engine
+        converges to the identical Steiner tree.
     workers:
         Process-pool size for the ``"bsp-mp"`` engine: ``None`` (the
         engine's reproducible default, currently 2), or an explicit
@@ -94,10 +97,12 @@ class SolverConfig:
         message-driven engine — the paper-faithful path that produces
         the per-phase message counts behind Figs. 3-6.  Any registered
         name from :mod:`repro.shortest_paths.backends` (``"dijkstra"``,
-        ``"delta-numpy"``, ``"scipy"``, ...) instead computes the
-        identical ``(src, pred, dist)`` fixpoint with that sequential
-        kernel and charges only wall time for the phase — the fast path
-        for workloads that need the tree, not the message trace.
+        ``"delta-numpy"``, ``"delta-numba"``, ``"scipy"``, ...) instead
+        computes the identical ``(src, pred, dist)`` fixpoint with that
+        sequential kernel and charges only wall time for the phase —
+        the fast path for workloads that need the tree, not the message
+        trace.  ``"delta-numba"`` is the JIT tier; without numba it
+        transparently runs as ``"delta-numpy"``.
     """
 
     n_ranks: int = 16

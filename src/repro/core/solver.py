@@ -15,7 +15,8 @@ Orchestrates the six phases over the simulated runtime:
 The message-driven phases (1 and 6) execute on the runtime engine
 selected by ``SolverConfig.engine`` — any name registered in
 :mod:`repro.runtime.engines` (``async-heap``, ``bsp``, ``bsp-batched``,
-``bsp-mp``); every engine converges to the identical tree.  Engines
+``bsp-mp``, ``bsp-native``); every engine converges to the identical
+tree.  Engines
 holding OS resources (``bsp-mp``'s worker pool, sized by
 ``SolverConfig.workers``) are closed in a ``finally`` once both phases
 have run, so worker processes never outlive ``solve`` — even when a

@@ -10,8 +10,8 @@ Subcommands
     Run the full evaluation sweep (every table and figure), printing
     each report — the command behind EXPERIMENTS.md.
 ``solve --dataset LVJ --seeds 30 [--ranks 16] [--queue priority]
-[--engine async-heap|bsp|bsp-batched|bsp-mp] [--workers N]
-[--backend simulate|dijkstra|delta-numpy|scipy|...]``
+[--engine async-heap|bsp|bsp-batched|bsp-mp|bsp-native] [--workers N]
+[--backend simulate|dijkstra|delta-numpy|delta-numba|scipy|...]``
     One-off solve on a stand-in dataset, printing the tree summary and
     the phase breakdown.  ``--engine`` picks the runtime engine the
     message-driven phases execute on (``--workers`` sizes the
@@ -28,12 +28,15 @@ Subcommands
     ``--tcp`` listens on a socket instead (``:0`` picks a free port,
     printed on startup).
 ``backends [--bench] [--dataset LVJ] [--seeds 30]``
-    List the registered multi-source shortest-path backends; with
-    ``--bench``, time each one on the chosen instance and verify they
-    agree bit-for-bit.
+    List the registered multi-source shortest-path backends — each with
+    its availability (``available`` / ``fallback -> twin`` /
+    ``unavailable``, plus the import-failure reason for the optional
+    tiers); with ``--bench``, time each one on the chosen instance and
+    verify they agree bit-for-bit.
 ``engines [--bench] [--dataset LVJ] [--seeds 30] [--ranks 16]
 [--workers N]``
-    List the registered runtime engines; with ``--bench``, solve the
+    List the registered runtime engines with their availability (same
+    format as ``backends``); with ``--bench``, solve the
     chosen instance on each engine, verify the trees are identical and
     report per-engine wall/simulated time and message counts.  The
     bench is deterministic apart from the wall-clock column: seeded
@@ -194,14 +197,37 @@ def _cmd_serve(args) -> int:
     return 0
 
 
-def _cmd_backends(args) -> int:
-    from repro.shortest_paths.backends import backend_help, compute_multisource
+def _print_registry_listing(availability: dict[str, dict]) -> None:
+    """Shared ``backends``/``engines`` listing: name, status, one-liner.
 
-    help_by_name = backend_help()
+    Optional tiers that degraded (``fallback``) or failed to register
+    (``unavailable``) get a second, indented line naming the twin they
+    delegate to and the import-failure reason — so "why am I not getting
+    the JIT tier?" is answerable from the listing alone.
+    """
+    for name, record in availability.items():
+        status = record["status"]
+        print(f"{name:16s} {status:12s} {record['help']}")
+        if status == "fallback":
+            print(
+                f"{'':16s} {'':12s} -> runs as {record['fallback']!r} "
+                f"({record['reason']})"
+            )
+        elif status == "unavailable":
+            print(f"{'':16s} {'':12s} -> not registered ({record['reason']})")
+
+
+def _cmd_backends(args) -> int:
+    from repro.shortest_paths.backends import (
+        backend_availability,
+        backend_help,
+        compute_multisource,
+    )
+
     if not args.bench:
-        for name, text in help_by_name.items():
-            print(f"{name:16s} {text}")
+        _print_registry_listing(backend_availability())
         return 0
+    help_by_name = backend_help()
 
     from repro.harness.datasets import load_dataset
     from repro.harness.reporting import fmt_time
@@ -234,12 +260,10 @@ def _cmd_backends(args) -> int:
 
 
 def _cmd_engines(args) -> int:
-    from repro.runtime.engines import engine_help
+    from repro.runtime.engines import engine_availability
 
-    help_by_name = engine_help()
     if not args.bench:
-        for name, text in help_by_name.items():
-            print(f"{name:16s} {text}")
+        _print_registry_listing(engine_availability())
         return 0
 
     from repro.harness.datasets import load_dataset

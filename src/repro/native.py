@@ -1,0 +1,142 @@
+"""Optional numba JIT support — one import guard for every native tier.
+
+The native kernel tiers (``voronoi_backend="delta-numba"``,
+``engine="bsp-native"``) depend on `numba <https://numba.pydata.org>`_,
+which is deliberately **optional**: the library's hard dependency set
+stays NumPy-only, and every native tier degrades to its NumPy twin when
+numba cannot be imported.  This module centralises that guard so the
+policy lives in exactly one place:
+
+* :data:`NUMBA_AVAILABLE` / :data:`NUMBA_IMPORT_ERROR` — did the import
+  succeed, and if not, why (the registries surface the reason through
+  ``repro-steiner backends`` / ``engines``);
+* :func:`njit` / :data:`prange` — decorator and range shims.  With
+  numba present, :func:`njit` applies ``numba.njit(cache=True, ...)``;
+  without it, the decorated function is returned **unchanged**, so the
+  kernels remain callable as plain Python — slow, but semantically
+  identical, which is how the parity tests exercise the kernel logic in
+  no-numba environments;
+* :func:`warmup` — compile (or re-load from the on-disk cache) every
+  registered kernel on a tiny instance, so first-call JIT compilation
+  never lands inside a benchmark timing column;
+* cache-dir pinning — ``NUMBA_CACHE_DIR`` is defaulted (never
+  overridden) to a stable per-user path before numba is first imported,
+  so repeated bench runs reuse compiled artifacts instead of paying
+  compilation once per process.
+
+Install the optional dependency with ``pip install numba`` (or the
+packaging extra ``pip install -e ".[native]"``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Any, Callable
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "NUMBA_IMPORT_ERROR",
+    "native_status",
+    "njit",
+    "prange",
+    "register_warmup",
+    "warmup",
+]
+
+#: pinned compilation cache (see ``docs/kernels.md``): respected if the
+#: user already set it, defaulted to a stable per-user directory
+#: otherwise — MUST happen before ``import numba``
+_CACHE_ENV = "NUMBA_CACHE_DIR"
+if not os.environ.get(_CACHE_ENV):
+    _uid = getattr(os, "getuid", lambda: "shared")()
+    os.environ[_CACHE_ENV] = os.path.join(
+        tempfile.gettempdir(), f"repro-steiner-numba-{_uid}"
+    )
+
+try:
+    import numba as _numba
+
+    NUMBA_AVAILABLE = True
+    NUMBA_IMPORT_ERROR: str | None = None
+    prange = _numba.prange
+except ImportError as _exc:  # the graceful-fallback path (CI no-numba leg)
+    _numba = None
+    NUMBA_AVAILABLE = False
+    NUMBA_IMPORT_ERROR = f"{type(_exc).__name__}: {_exc}"
+    prange = range
+
+
+def njit(*args: Any, **kwargs: Any) -> Callable:
+    """``numba.njit`` with library defaults, or the identity decorator.
+
+    With numba installed this is ``numba.njit(cache=True, **kwargs)`` —
+    on-disk caching keyed by the pinned :data:`NUMBA_CACHE_DIR` (so a
+    process pays compilation at most once per kernel per machine).
+    Without numba the decorated function is returned unchanged: every
+    kernel in the native tiers is written in the nopython subset *and*
+    as valid plain NumPy-on-scalars Python, so the un-jitted form runs
+    (slowly) for parity testing.
+
+    Supports both ``@njit`` and ``@njit(parallel=True)`` spellings.
+    """
+    if args and callable(args[0]) and not kwargs:
+        fn = args[0]
+        if _numba is None:
+            return fn
+        return _numba.njit(cache=True)(fn)
+
+    kwargs.setdefault("cache", True)
+
+    def deco(fn: Callable) -> Callable:
+        if _numba is None:
+            return fn
+        return _numba.njit(**kwargs)(fn)
+
+    return deco
+
+
+_WARMUPS: list[Callable[[], None]] = []
+
+
+def register_warmup(fn: Callable[[], None]) -> Callable[[], None]:
+    """Register a zero-argument warm-up callable (one per kernel module).
+
+    Each callable runs its module's jitted kernels on a tiny fixed
+    instance, forcing compilation (or cache re-load).  Collected here so
+    benchmarks can warm *every* native tier with one :func:`warmup`
+    call before their timing loops.
+    """
+    _WARMUPS.append(fn)
+    return fn
+
+
+def warmup() -> int:
+    """Compile every registered native kernel outside any timing column.
+
+    Returns the number of warm-up routines that ran.  A no-op returning
+    ``0`` when numba is absent — the fallback tiers have nothing to
+    compile.
+    """
+    if not NUMBA_AVAILABLE:
+        return 0
+    for fn in _WARMUPS:
+        fn()
+    return len(_WARMUPS)
+
+
+def native_status() -> dict[str, Any]:
+    """Machine-readable JIT-tier status for CLI listings and bench metadata.
+
+    >>> status = native_status()
+    >>> sorted(status) == ['available', 'cache_dir', 'reason', 'version']
+    True
+    >>> status['available'] == (status['reason'] is None)
+    True
+    """
+    return {
+        "available": NUMBA_AVAILABLE,
+        "version": getattr(_numba, "__version__", None),
+        "reason": NUMBA_IMPORT_ERROR,
+        "cache_dir": os.environ.get(_CACHE_ENV),
+    }

@@ -60,8 +60,15 @@ Registered engines
     workers, one per group of simulated ranks — true parallelism,
     selected with ``SolverConfig(engine="bsp-mp", workers=N)`` or
     ``repro-steiner solve --engine bsp-mp --workers N``.
+``bsp-native``
+    Compiled supersteps
+    (:class:`~repro.runtime.engine_native.BSPNativeEngine`): the whole
+    batched superstep fused into one numba-JIT kernel.  numba is
+    optional — without it the engine *is* ``bsp-batched``, and
+    :func:`engine_availability` / ``repro-steiner engines`` report the
+    fallback and the import-failure reason.
 
->>> "bsp-mp" in available_engines()
+>>> "bsp-mp" in available_engines() and "bsp-native" in available_engines()
 True
 >>> available_engines()[0] == DEFAULT_ENGINE == "async-heap"
 True
@@ -86,10 +93,12 @@ __all__ = [
     "DEFAULT_ENGINE",
     "EngineResult",
     "available_engines",
+    "engine_availability",
     "engine_help",
     "get_engine",
     "make_engine",
     "register_engine",
+    "register_unavailable_engine",
     "run_phase_with",
     "verify_engines_agree",
 ]
@@ -101,6 +110,13 @@ DEFAULT_ENGINE = "async-heap"
 
 _REGISTRY: dict[str, EngineFactory] = {}
 _HELP: dict[str, str] = {}
+#: name -> {"status": "available" | "fallback" | "unavailable",
+#:          "reason": import-failure text (or None),
+#:          "fallback": registry name the entry delegates to (or None)}
+#: — the per-entry availability record behind ``repro-steiner engines``.
+#: ``fallback`` entries are registered and callable (they run as their
+#: NumPy twin); ``unavailable`` entries are listing-only.
+_AVAILABILITY: dict[str, dict] = {}
 
 
 @dataclass(frozen=True)
@@ -135,21 +151,53 @@ class EngineResult:
 
 
 def register_engine(
-    name: str, help_text: str = ""
+    name: str,
+    help_text: str = "",
+    *,
+    status: str = "available",
+    reason: str | None = None,
+    fallback: str | None = None,
 ) -> Callable[[EngineFactory], EngineFactory]:
     """Decorator registering ``factory`` as runtime engine ``name``.
 
     Re-registering a name overwrites it (deliberate: lets tests and
     downstream users shadow an engine with an instrumented variant).
+
+    ``status``/``reason``/``fallback`` record availability provenance
+    for optional tiers: ``"fallback"`` means the entry is callable but
+    runs as the twin named by ``fallback`` because its accelerator
+    failed to import (``reason`` carries the import error) — surfaced
+    by :func:`engine_availability` and the CLI listing.
     """
 
     def deco(factory: EngineFactory) -> EngineFactory:
         _REGISTRY[name] = factory
         doc_lines = (factory.__doc__ or "").strip().splitlines()
         _HELP[name] = help_text or (doc_lines[0] if doc_lines else name)
+        _AVAILABILITY[name] = {
+            "status": status,
+            "reason": reason,
+            "fallback": fallback,
+        }
         return factory
 
     return deco
+
+
+def register_unavailable_engine(name: str, help_text: str, reason: str) -> None:
+    """Record an optional engine that could not register at all.
+
+    The name stays *out* of the callable registry (``get_engine`` keeps
+    failing fast), but :func:`engine_availability` and the CLI listing
+    show the entry with its import-failure reason instead of silently
+    omitting it.
+    """
+    _HELP[name] = help_text
+    _AVAILABILITY[name] = {
+        "status": "unavailable",
+        "reason": reason,
+        "fallback": None,
+    }
 
 
 def available_engines() -> list[str]:
@@ -161,6 +209,29 @@ def available_engines() -> list[str]:
 def engine_help() -> dict[str, str]:
     """``{name: one-line description}`` for CLI listings."""
     return {name: _HELP.get(name, "") for name in available_engines()}
+
+
+def engine_availability() -> dict[str, dict]:
+    """Per-entry availability: ``{name: {status, reason, fallback, help}}``.
+
+    Registered (callable) entries first, in :func:`available_engines`
+    order; ``unavailable`` listing-only entries follow alphabetically.
+    ``status`` is ``"available"`` (the named executor runs),
+    ``"fallback"`` (callable, but running as ``fallback`` — ``reason``
+    says why) or ``"unavailable"`` (not callable; ``reason`` says why).
+    """
+    names = available_engines()
+    names += sorted(k for k in _AVAILABILITY if k not in _REGISTRY)
+    out: dict[str, dict] = {}
+    for name in names:
+        record = dict(
+            _AVAILABILITY.get(
+                name, {"status": "available", "reason": None, "fallback": None}
+            )
+        )
+        record["help"] = _HELP.get(name, "")
+        out[name] = record
+    return out
 
 
 def get_engine(name: str) -> EngineFactory:
@@ -354,3 +425,37 @@ def _bsp_mp_factory(
     return BSPMultiprocessEngine(
         partition, machine, discipline, workers=workers
     )
+
+
+def _register_bsp_native() -> None:
+    """Register the JIT tier (or its fallback twin) under ``bsp-native``.
+
+    The entry is *always* registered: with numba present the engine
+    fuses each superstep into one compiled kernel; without, the
+    constructed engine transparently runs the batched NumPy supersteps
+    (identical semantics and counters) and the availability record says
+    so (status ``fallback`` + the import-failure reason).
+    """
+    from repro.native import NUMBA_AVAILABLE, NUMBA_IMPORT_ERROR
+
+    @register_engine(
+        "bsp-native",
+        "fused JIT-compiled supersteps (numba; falls back to bsp-batched)",
+        status="available" if NUMBA_AVAILABLE else "fallback",
+        reason=NUMBA_IMPORT_ERROR,
+        fallback=None if NUMBA_AVAILABLE else "bsp-batched",
+    )
+    def _bsp_native_factory(
+        partition: PartitionedGraph,
+        machine: MachineModel | None = None,
+        discipline: QueueDiscipline | str = QueueDiscipline.PRIORITY,
+        *,
+        aggregate_remote: bool = False,
+        workers: Optional[int] = None,
+    ):
+        from repro.runtime.engine_native import BSPNativeEngine
+
+        return BSPNativeEngine(partition, machine, discipline)
+
+
+_register_bsp_native()

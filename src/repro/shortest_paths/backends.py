@@ -53,8 +53,11 @@ import numpy as np
 
 try:  # SciPy is an optional accelerator, never a hard dependency
     import scipy.sparse.csgraph as _scipy_csgraph
-except ImportError:  # pragma: no cover - exercised only without SciPy
+
+    _SCIPY_IMPORT_ERROR: str | None = None
+except ImportError as _exc:  # pragma: no cover - exercised only without SciPy
     _scipy_csgraph = None
+    _SCIPY_IMPORT_ERROR = f"{type(_exc).__name__}: {_exc}"
 
 from repro.graph.csr import CSRGraph
 from repro.shortest_paths.voronoi import (
@@ -67,10 +70,12 @@ __all__ = [
     "DEFAULT_BACKEND",
     "MultiSourceResult",
     "available_backends",
+    "backend_availability",
     "backend_help",
     "compute_multisource",
     "get_backend",
     "register_backend",
+    "register_unavailable_backend",
     "verify_backends_agree",
 ]
 
@@ -81,6 +86,13 @@ DEFAULT_BACKEND = "dijkstra"
 
 _REGISTRY: dict[str, BackendFn] = {}
 _HELP: dict[str, str] = {}
+#: name -> {"status": "available" | "fallback" | "unavailable",
+#:          "reason": import-failure text (or None),
+#:          "fallback": registry name the entry delegates to (or None)}
+#: — the per-entry availability record behind ``repro-steiner backends``.
+#: ``fallback`` entries are registered and callable (they delegate to
+#: their NumPy twin); ``unavailable`` entries are listing-only.
+_AVAILABILITY: dict[str, dict] = {}
 
 
 @dataclass(frozen=True)
@@ -128,20 +140,56 @@ class MultiSourceResult:
         )
 
 
-def register_backend(name: str, help_text: str = "") -> Callable[[BackendFn], BackendFn]:
+def register_backend(
+    name: str,
+    help_text: str = "",
+    *,
+    status: str = "available",
+    reason: str | None = None,
+    fallback: str | None = None,
+) -> Callable[[BackendFn], BackendFn]:
     """Decorator registering ``fn`` as multi-source backend ``name``.
 
     Re-registering a name overwrites it (deliberate: lets tests and
     downstream users shadow a backend with an instrumented variant).
+
+    ``status``/``reason``/``fallback`` record availability provenance
+    for optional tiers: ``"fallback"`` means the entry is callable but
+    delegates to the twin named by ``fallback`` because its accelerator
+    failed to import (``reason`` carries the import error) — surfaced
+    by :func:`backend_availability` and the CLI listing.
     """
 
     def deco(fn: BackendFn) -> BackendFn:
         _REGISTRY[name] = fn
         doc_lines = (fn.__doc__ or "").strip().splitlines()
         _HELP[name] = help_text or (doc_lines[0] if doc_lines else name)
+        _AVAILABILITY[name] = {
+            "status": status,
+            "reason": reason,
+            "fallback": fallback,
+        }
         return fn
 
     return deco
+
+
+def register_unavailable_backend(
+    name: str, help_text: str, reason: str
+) -> None:
+    """Record an optional backend that could not register at all.
+
+    The name stays *out* of the callable registry (``get_backend``
+    keeps failing fast), but :func:`backend_availability` and the CLI
+    listing show the entry with its import-failure reason instead of
+    silently omitting it.
+    """
+    _HELP[name] = help_text
+    _AVAILABILITY[name] = {
+        "status": "unavailable",
+        "reason": reason,
+        "fallback": None,
+    }
 
 
 def available_backends() -> list[str]:
@@ -153,6 +201,30 @@ def available_backends() -> list[str]:
 def backend_help() -> dict[str, str]:
     """``{name: one-line description}`` for CLI listings."""
     return {name: _HELP.get(name, "") for name in available_backends()}
+
+
+def backend_availability() -> dict[str, dict]:
+    """Per-entry availability: ``{name: {status, reason, fallback, help}}``.
+
+    Registered (callable) entries first, in :func:`available_backends`
+    order; ``unavailable`` listing-only entries (optional tiers whose
+    import failed outright) follow alphabetically.  ``status`` is
+    ``"available"`` (the named kernel runs), ``"fallback"`` (callable,
+    but delegating to ``fallback`` — ``reason`` says why) or
+    ``"unavailable"`` (not callable; ``reason`` says why).
+    """
+    names = available_backends()
+    names += sorted(k for k in _AVAILABILITY if k not in _REGISTRY)
+    out: dict[str, dict] = {}
+    for name in names:
+        record = dict(
+            _AVAILABILITY.get(
+                name, {"status": "available", "reason": None, "fallback": None}
+            )
+        )
+        record["help"] = _HELP.get(name, "")
+        out[name] = record
+    return out
 
 
 def get_backend(name: str) -> BackendFn:
@@ -254,6 +326,34 @@ def _delta_python_backend(
     return compute_voronoi_cells_delta_stepping(graph, seeds, delta)
 
 
+def _register_delta_numba() -> None:
+    """Register the JIT tier (or its fallback twin) under ``delta-numba``.
+
+    The entry is *always* registered: with numba present it runs the
+    fused compiled sweep; without, the callable transparently delegates
+    to ``delta-numpy`` and the availability record says so (status
+    ``fallback`` + the import-failure reason).
+    """
+    from repro.native import NUMBA_AVAILABLE, NUMBA_IMPORT_ERROR
+
+    @register_backend(
+        "delta-numba",
+        "fused JIT-compiled Delta-stepping (numba; falls back to delta-numpy)",
+        status="available" if NUMBA_AVAILABLE else "fallback",
+        reason=NUMBA_IMPORT_ERROR,
+        fallback=None if NUMBA_AVAILABLE else "delta-numpy",
+    )
+    def _delta_numba_backend(
+        graph: CSRGraph, seeds: Sequence[int], delta: int | None = None
+    ) -> VoronoiDiagram:
+        from repro.shortest_paths.native import compute_voronoi_cells_delta_numba
+
+        return compute_voronoi_cells_delta_numba(graph, seeds, delta)
+
+
+_register_delta_numba()
+
+
 if _scipy_csgraph is not None:
 
     @register_backend(
@@ -282,3 +382,11 @@ if _scipy_csgraph is not None:
         from repro.shortest_paths.scipy_backend import compute_voronoi_cells_scipy
 
         return compute_voronoi_cells_scipy(graph, seeds)
+
+else:  # pragma: no cover - exercised only without SciPy
+    register_unavailable_backend(
+        "scipy",
+        "scipy.sparse.csgraph compiled multi-source Dijkstra "
+        "(int64-exact fallback for astronomical weights)",
+        _SCIPY_IMPORT_ERROR or "ImportError: scipy",
+    )

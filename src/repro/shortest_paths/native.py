@@ -1,0 +1,270 @@
+"""Fused native (numba-JIT) multi-source Δ-stepping over the raw CSR.
+
+The ``delta-numpy`` kernel (:mod:`repro.shortest_paths.vectorized`)
+already moves all per-edge work into compiled NumPy loops, but each
+relaxation wave still pays several full-array dispatches: the
+``np.repeat`` neighbour gather, the improvement mask, the packed-key
+``np.minimum.at`` reduction, the ``np.nonzero`` frontier rebuild.  On
+1M–10M-edge graphs that dispatch overhead — not the arithmetic —
+dominates (see ``benchmarks/bench_backends.py``, scale suite).  This
+module runs the *same* bucket-synchronous Δ-stepping schedule as
+compiled kernels: neighbour gather, relaxation and the lexicographic
+``(dist, owner)`` minimum fused into a single pass over the frontier's
+out-arcs, with the gather ``prange``-parallel across frontier vertices.
+
+Fallback contract (see ``docs/kernels.md``): when numba is not
+installed, :func:`compute_voronoi_cells_delta_numba` silently delegates
+to
+:func:`~repro.shortest_paths.vectorized.compute_voronoi_cells_delta_numpy`
+— the registry entry keeps working, just without the JIT tier (the
+``repro-steiner backends`` listing reports which one you are getting).
+Because :func:`~repro.native.njit` is the identity decorator in that
+case, the kernels below also remain callable as plain Python, which is
+how ``tests/test_native.py`` pins their bit-identity to ``delta-numpy``
+even in no-numba environments (``force=True`` skips the fallback).
+
+Determinism: the converged lexicographic ``(dist, owner)`` fixpoint is
+*unique* (smaller-seed-id tie-break), so any schedule that relaxes to
+quiescence lands on the bit-identical ``(dist, src)`` arrays, and the
+predecessors are rewritten by the shared
+:func:`~repro.shortest_paths.voronoi.canonicalize_predecessors` pass.
+Hence the result is bit-for-bit equal to every other registered backend
+by construction — and the property tests re-check it anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.native import NUMBA_AVAILABLE, njit, prange, register_warmup
+from repro.shortest_paths.voronoi import (
+    INF,
+    NO_VERTEX,
+    VoronoiDiagram,
+    _validate_seeds,
+    canonicalize_predecessors,
+)
+
+__all__ = ["compute_voronoi_cells_delta_numba"]
+
+
+@njit(parallel=True)
+def _wave(
+    indptr, indices, weights, frontier, flen, want_light, delta,
+    dist, src, pending, plist, plen, offs,
+):
+    """One relaxation wave: fused gather + relax + lexicographic commit.
+
+    Gathers every out-arc candidate of ``frontier[:flen]`` into flat
+    buffers (``prange`` over frontier vertices — each writes a disjoint
+    slice, so the parallel loop is race-free), then commits the
+    per-vertex lexicographic ``(dist, owner)`` minima serially.  Arcs
+    on the wrong side of the light/heavy split leave a ``-1`` sentinel.
+    Newly-improved vertices are appended to ``plist`` (the pending set);
+    returns the updated pending count.
+    """
+    total = 0
+    for i in range(flen):
+        u = frontier[i]
+        offs[i] = total
+        total += indptr[u + 1] - indptr[u]
+    cand_head = np.empty(total, dtype=np.int64)
+    cand_nd = np.empty(total, dtype=np.int64)
+    cand_owner = np.empty(total, dtype=np.int64)
+
+    for i in prange(flen):
+        u = frontier[i]
+        du = dist[u]
+        su = src[u]
+        j = offs[i]
+        for a in range(indptr[u], indptr[u + 1]):
+            w = weights[a]
+            is_light = w <= delta
+            if is_light == want_light:
+                cand_head[j] = indices[a]
+                cand_nd[j] = du + w
+                cand_owner[j] = su
+            else:
+                cand_head[j] = -1
+            j += 1
+
+    for j in range(total):
+        v = cand_head[j]
+        if v < 0:
+            continue
+        nd = cand_nd[j]
+        dv = dist[v]
+        if nd < dv or (nd == dv and cand_owner[j] < src[v]):
+            dist[v] = nd
+            src[v] = cand_owner[j]
+            if pending[v] == 0:
+                pending[v] = 1
+                plist[plen] = v
+                plen += 1
+    return plen
+
+
+@njit
+def _sweep(indptr, indices, weights, seeds, delta, dist, src, inf):
+    """Fused multi-source Δ-stepping to quiescence (in-place).
+
+    The Meyer–Sanders bucket loop, exactly as ``delta-numpy`` schedules
+    it: per bucket ``[lo, lo + delta)``, light arcs relax in waves until
+    the bucket drains, then the heavy arcs of every vertex settled in
+    the bucket relax once.  Mutates ``dist``/``src`` to the unique
+    lexicographic ``(dist, owner)`` fixpoint.
+    """
+    n = dist.shape[0]
+    pending = np.zeros(n, dtype=np.uint8)
+    plist = np.empty(n, dtype=np.int64)  # exactly the flagged vertices
+    nextlist = np.empty(n, dtype=np.int64)
+    frontier = np.empty(n, dtype=np.int64)
+    settled = np.empty(n, dtype=np.int64)
+    settled_mark = np.zeros(n, dtype=np.uint8)
+    offs = np.empty(n + 1, dtype=np.int64)
+
+    plen = 0
+    for i in range(seeds.shape[0]):
+        s = seeds[i]
+        dist[s] = 0
+        src[s] = s
+        pending[s] = 1
+        plist[plen] = s
+        plen += 1
+
+    while plen > 0:
+        mind = inf
+        for i in range(plen):
+            d = dist[plist[i]]
+            if d < mind:
+                mind = d
+        b = mind // delta
+        lo = b * delta
+        hi = lo + delta
+
+        # ---- light phase: waves until bucket b stops changing -------- #
+        slen = 0
+        while True:
+            flen = 0
+            rlen = 0
+            for i in range(plen):
+                v = plist[i]
+                d = dist[v]
+                if d >= lo and d < hi:
+                    frontier[flen] = v
+                    flen += 1
+                    pending[v] = 0
+                    if settled_mark[v] == 0:
+                        settled_mark[v] = 1
+                        settled[slen] = v
+                        slen += 1
+                else:
+                    nextlist[rlen] = v
+                    rlen += 1
+            tmp = plist
+            plist = nextlist
+            nextlist = tmp
+            plen = rlen
+            if flen == 0:
+                break
+            plen = _wave(
+                indptr, indices, weights, frontier, flen, True, delta,
+                dist, src, pending, plist, plen, offs,
+            )
+
+        # ---- heavy phase: once, from the vertices settled in b ------- #
+        flen = 0
+        for i in range(slen):
+            u = settled[i]
+            settled_mark[u] = 0
+            if dist[u] // delta == b:
+                frontier[flen] = u
+                flen += 1
+        if flen > 0:
+            plen = _wave(
+                indptr, indices, weights, frontier, flen, False, delta,
+                dist, src, pending, plist, plen, offs,
+            )
+
+
+def compute_voronoi_cells_delta_numba(
+    graph: CSRGraph,
+    seeds: Sequence[int],
+    delta: int | None = None,
+    *,
+    force: bool = False,
+) -> VoronoiDiagram:
+    """Voronoi diagram via the fused compiled Δ-stepping sweep.
+
+    Drop-in replacement for
+    :func:`~repro.shortest_paths.vectorized.compute_voronoi_cells_delta_numpy`
+    with the identical ``(dist, src)`` fixpoint and canonical
+    predecessors (the registry contract).  Without numba installed the
+    call transparently falls back to the NumPy kernel — unless
+    ``force=True``, which runs the (slow) plain-Python form of the
+    kernels instead; the parity tests use that hook to pin the kernel
+    logic itself, not just the fallback, in no-numba environments.
+
+    Parameters
+    ----------
+    delta:
+        Bucket width; defaults to
+        :func:`~repro.shortest_paths.vectorized.default_delta` — the
+        same heuristic as ``delta-numpy``, so the two tiers run the
+        same schedule.
+    """
+    if not NUMBA_AVAILABLE and not force:
+        from repro.shortest_paths.vectorized import (
+            compute_voronoi_cells_delta_numpy,
+        )
+
+        return compute_voronoi_cells_delta_numpy(graph, seeds, delta)
+
+    from repro.shortest_paths.vectorized import default_delta
+
+    seeds_arr = _validate_seeds(graph, seeds)
+    if delta is None:
+        delta = default_delta(graph)
+    if delta < 1:
+        raise GraphError("delta must be >= 1")
+
+    n = graph.n_vertices
+    dist = np.full(n, INF, dtype=np.int64)
+    src = np.full(n, NO_VERTEX, dtype=np.int64)
+    _sweep(
+        graph.indptr,
+        graph.indices,
+        graph.weights,
+        seeds_arr,
+        np.int64(delta),
+        dist,
+        src,
+        np.int64(INF),
+    )
+    pred = canonicalize_predecessors(graph, src, dist)
+    return VoronoiDiagram(seeds=seeds_arr, src=src, pred=pred, dist=dist)
+
+
+@register_warmup
+def _warmup() -> None:
+    """Compile the sweep kernels on a 3-vertex path (both arc classes),
+    outside any benchmark timing column."""
+    indptr = np.array([0, 1, 3, 4], dtype=np.int64)
+    indices = np.array([1, 0, 2, 1], dtype=np.int64)
+    weights = np.array([1, 1, 9, 9], dtype=np.int64)
+    dist = np.full(3, INF, dtype=np.int64)
+    src = np.full(3, NO_VERTEX, dtype=np.int64)
+    _sweep(
+        indptr,
+        indices,
+        weights,
+        np.array([0], dtype=np.int64),
+        np.int64(2),
+        dist,
+        src,
+        np.int64(INF),
+    )
