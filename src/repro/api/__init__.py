@@ -180,22 +180,34 @@ class Session:
             else SolverConfig.from_kwargs(**config_kwargs)
         )
         self.cache = cache
-        self._solvers: dict[str, DistributedSteinerSolver] = {}
+        self._solvers: dict[tuple, DistributedSteinerSolver] = {}
         self._closed = False
 
     # ------------------------------------------------------------------ #
     def solver_for(self, config: SolverConfig) -> DistributedSteinerSolver:
-        """The warm solver for ``config`` (created on first use; one per
-        distinct configuration fingerprint)."""
+        """The warm solver for ``config`` (created on first use).
+
+        Keyed by the configuration fingerprint *plus* the
+        fault-tolerance knobs: those are excluded from the fingerprint
+        (they never change results, so cache entries stay shared) but
+        they do change how a solver executes — two configs differing
+        only in, say, ``fault_plan`` must not share a solver instance.
+        """
         if self._closed:
             raise RuntimeError("Session is closed")
-        fp = config.fingerprint()
-        solver = self._solvers.get(fp)
+        key = (
+            config.fingerprint(),
+            config.checkpoint_interval,
+            config.max_restarts,
+            config.worker_timeout_s,
+            id(config.fault_plan) if config.fault_plan is not None else None,
+        )
+        solver = self._solvers.get(key)
         if solver is None:
             solver = DistributedSteinerSolver(
                 self.graph, config, cache=self.cache
             )
-            self._solvers[fp] = solver
+            self._solvers[key] = solver
         return solver
 
     def solve(self, seeds: Sequence[int], **overrides: Any) -> SteinerTreeResult:

@@ -15,13 +15,18 @@ Request payload (``schema_version`` 1)
 
     {"schema_version": 1, "id": "req-7", "op": "solve",
      "graph": "LVJ", "seeds": [3, 14, 159],
-     "config": {"voronoi_backend": "delta-numpy", "n_ranks": 16}}
+     "config": {"voronoi_backend": "delta-numpy", "n_ranks": 16},
+     "deadline_ms": 5000}
 
 ``op`` defaults to ``"solve"``; the serve loop also accepts ``"ping"``,
-``"stats"``, ``"graphs"`` and ``"shutdown"``.  ``config`` holds
+``"stats"``, ``"graphs"``, ``"health"``, ``"drain"`` and
+``"shutdown"``.  ``config`` holds
 :class:`~repro.core.config.SolverConfig` field names (legacy spellings
 such as ``ranks``/``queue``/``backend`` are accepted through
 :meth:`SolverConfig.from_kwargs` with a :class:`DeprecationWarning`).
+``deadline_ms`` (optional, solve only) bounds how long the request may
+wait + run: past it the service answers with a structured ``timeout``
+error instead of a result — it never hangs.
 
 Response payload
 ----------------
@@ -31,6 +36,15 @@ Response payload
     {"schema_version": 1, "id": "req-7", "ok": true, "result": {...}}
     {"schema_version": 1, "id": "req-7", "ok": false,
      "error": {"type": "DisconnectedSeedsError", "message": "..."}}
+
+Structured error envelopes may carry machine-actionable fields next to
+``type``/``message``: ``code`` (a stable short string — ``"timeout"``
+for expired deadlines, ``"shed"`` for load-shed admissions,
+``"draining"`` while the service drains, ``"oversized"`` for frames
+beyond the protocol's line bound) and ``retry_after_ms`` (attached to
+``shed`` responses: a backoff hint derived from the current queue
+depth).  Both are copied from same-named attributes on the raised
+exception, so any layer can emit them.
 
 The ``result`` object is exactly :func:`result_payload`: ``seeds``,
 ``edges`` (``[u, v, w]`` rows, ``u < v``), ``total_distance``,
@@ -70,7 +84,7 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: request operations the serve loop understands
-KNOWN_OPS = ("solve", "ping", "stats", "graphs", "shutdown")
+KNOWN_OPS = ("solve", "ping", "stats", "graphs", "health", "drain", "shutdown")
 
 #: legacy request field -> canonical field (pre-schema ad-hoc dumps)
 _LEGACY_REQUEST_FIELDS = {
@@ -130,6 +144,7 @@ class SolveRequest:
     graph: str | None = None
     seeds: tuple[int, ...] = ()
     config: Mapping[str, Any] = field(default_factory=dict)
+    deadline_ms: int | None = None
     schema_version: int = SCHEMA_VERSION
 
     def to_payload(self) -> dict[str, Any]:
@@ -145,6 +160,8 @@ class SolveRequest:
             payload["seeds"] = list(self.seeds)
         if self.config:
             payload["config"] = dict(self.config)
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
         return payload
 
 
@@ -208,6 +225,16 @@ def parse_request(payload: Mapping[str, Any]) -> SolveRequest:
     if not isinstance(config, Mapping):
         raise SchemaError("'config' must be a JSON object of SolverConfig fields")
 
+    deadline_ms = data.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ):
+            raise SchemaError("'deadline_ms' must be a positive number")
+        deadline_ms = int(deadline_ms)
+        if deadline_ms <= 0:
+            raise SchemaError("'deadline_ms' must be a positive number")
+
     if op == "solve":
         if graph is None:
             raise SchemaError("solve request is missing required field 'graph'")
@@ -220,6 +247,7 @@ def parse_request(payload: Mapping[str, Any]) -> SolveRequest:
         graph=graph,
         seeds=seeds,
         config=dict(config),
+        deadline_ms=deadline_ms,
         schema_version=version,
     )
 
@@ -298,9 +326,21 @@ def response_payload(request_id: str, result=None, **extra: Any) -> dict[str, An
 
 
 def error_payload(request_id: str | None, error: BaseException | str) -> dict[str, Any]:
-    """The error envelope: ``ok: false`` plus a typed message."""
+    """The error envelope: ``ok: false`` plus a typed message.
+
+    Exceptions carrying a ``code`` attribute (``"timeout"``, ``"shed"``,
+    ``"draining"``, ``"oversized"``) surface it for machine dispatch;
+    a ``retry_after_ms`` attribute (load-shed backoff hint) passes
+    through the same way.
+    """
     if isinstance(error, BaseException):
         err = {"type": type(error).__name__, "message": str(error)}
+        code = getattr(error, "code", None)
+        if code is not None:
+            err["code"] = str(code)
+        retry_after = getattr(error, "retry_after_ms", None)
+        if retry_after is not None:
+            err["retry_after_ms"] = int(retry_after)
     else:
         err = {"type": "Error", "message": str(error)}
     return {

@@ -103,6 +103,27 @@ class SolverConfig:
         the fast path for workloads that need the tree, not the message
         trace.  ``"delta-numba"`` is the JIT tier; without numba it
         transparently runs as ``"delta-numpy"``.
+    checkpoint_interval:
+        ``bsp-mp`` fault tolerance: supersteps between in-memory
+        owned-vertex checkpoints (``None`` = the engine's default,
+        currently 4).  Smaller = less replay on recovery, more snapshot
+        traffic.  Never changes results.
+    max_restarts:
+        Worker restarts tolerated per phase before ``bsp-mp`` escalates
+        to :class:`~repro.errors.WorkerCrashError` (``None`` = the
+        engine's default, currently 2).
+    worker_timeout_s:
+        Per-superstep heartbeat for ``bsp-mp``: a worker that takes
+        longer than this to answer is declared hung, hard-killed, and
+        recovered.  ``None`` (default) disables hang detection — crash
+        detection via pipe EOF is always on.
+    fault_plan:
+        Deterministic chaos: a :class:`repro.faults.FaultPlan` whose
+        actions the runtime and serve tiers inject at their scheduled
+        points (``None`` = the ``REPRO_FAULT_PLAN`` env hook, which is
+        itself usually unset).  Testing machinery — recovery keeps
+        results bit-identical, so a fault plan never changes a correct
+        run's output.
     """
 
     n_ranks: int = 16
@@ -118,6 +139,10 @@ class SolverConfig:
     collective_chunk_elements: Optional[int] = None
     aggregate_remote_messages: bool = False
     voronoi_backend: Optional[str] = None
+    checkpoint_interval: Optional[int] = None
+    max_restarts: Optional[int] = None
+    worker_timeout_s: Optional[float] = None
+    fault_plan: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
@@ -131,6 +156,14 @@ class SolverConfig:
             raise ValueError("collective_chunk_elements must be >= 1")
         if self.workers is not None and self.workers < 1:
             raise ValueError("workers must be >= 1 (or None for the default)")
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ValueError(
+                "checkpoint_interval must be >= 1 (or None for the default)"
+            )
+        if self.max_restarts is not None and self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0 (or None for the default)")
+        if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
+            raise ValueError("worker_timeout_s must be > 0 (or None to disable)")
         object.__setattr__(self, "discipline", QueueDiscipline(self.discipline))
         # the legacy bsp flag is an alias for engine="bsp"; afterwards
         # the field mirrors whether the engine is bulk-synchronous
@@ -190,14 +223,28 @@ class SolverConfig:
         key ``(graph_hash, frozenset(seeds), config_fingerprint)``: two
         configurations share a fingerprint iff a cached result computed
         under one is valid for the other.  Every dataclass field except
-        the derived ``bsp`` mirror participates (the machine model is
-        flattened into its constants), values are canonicalised
-        (enum -> value) and serialised with sorted keys, so the digest
-        is independent of field ordering and of dict-insertion order.
+        the derived ``bsp`` mirror and the fault-tolerance knobs
+        participates — checkpointing cadence, restart budgets, heartbeat
+        timeouts and injected fault plans never change a correct run's
+        results (the recovery-preserves-parity contract,
+        ``docs/robustness.md``), so results cached under one setting are
+        valid under any other.  The machine model is flattened into its
+        constants, values are canonicalised (enum -> value) and
+        serialised with sorted keys, so the digest is independent of
+        field ordering and of dict-insertion order.
         """
         material: dict[str, Any] = {}
+        # bsp is derived from engine in __post_init__; the fault knobs
+        # steer *how* a result is computed, never *what* it is
+        skip = {
+            "bsp",
+            "checkpoint_interval",
+            "max_restarts",
+            "worker_timeout_s",
+            "fault_plan",
+        }
         for f in fields(self):
-            if f.name == "bsp":  # derived from engine in __post_init__
+            if f.name in skip:
                 continue
             value = getattr(self, f.name)
             if f.name == "machine":

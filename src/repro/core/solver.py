@@ -205,6 +205,10 @@ class DistributedSteinerSolver:
             cfg.discipline,
             aggregate_remote=cfg.aggregate_remote_messages,
             workers=cfg.workers,
+            checkpoint_interval=cfg.checkpoint_interval,
+            max_restarts=cfg.max_restarts,
+            worker_timeout_s=cfg.worker_timeout_s,
+            fault_plan=cfg.fault_plan,
         )
 
         try:
@@ -341,6 +345,15 @@ class DistributedSteinerSolver:
 
         finally:
             engine.close()
+
+        # fault-recovery provenance: present iff the supervised engine
+        # actually restarted a worker (results are bit-identical anyway)
+        if getattr(engine, "restarts", 0):
+            provenance["fault_recovery"] = {
+                "restarts": engine.restarts,
+                "replayed_supersteps": engine.replayed_supersteps,
+                "recovery_wall_s": engine.recovery_wall_s,
+            }
 
         # ---- assemble the tree ---------------------------------------- #
         cross_w = dg.dprime[active] - dist[dg.u[active]] - dist[dg.v[active]]

@@ -20,7 +20,8 @@ Subcommands
     name computes the identical tree via that sequential kernel.
 ``serve [--tcp HOST:PORT] [--preload LVJ,MCO] [--backend delta-numpy]
 [--ranks 16] [--engine ...] [--batch-window-ms 5] [--max-batch 8]
-[--cache-size 128] [--disk-cache DIR] [--no-cache]``
+[--max-queue-depth N] [--cache-size 128] [--disk-cache DIR]
+[--no-cache]``
     Run the persistent solver service (see ``docs/serve.md``): graphs
     load once, concurrent requests sharing a graph are coalesced into
     fused multi-source sweeps, and repeated requests hit the result
@@ -163,6 +164,7 @@ def _cmd_serve(args) -> int:
         cache=cache,
         batch_window_s=args.batch_window_ms / 1000.0,
         max_batch=args.max_batch,
+        max_queue_depth=args.max_queue_depth,
     )
     for name in filter(None, (args.preload or "").split(",")):
         try:
@@ -420,6 +422,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--max-batch", type=int, default=8,
         help="max requests fused into one multi-source sweep",
+    )
+    p_serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the admission queue: beyond N queued requests new "
+        "ones are shed with a structured error carrying retry_after_ms "
+        "(default: unbounded)",
     )
     p_serve.add_argument(
         "--cache-size", type=int, default=128,

@@ -43,6 +43,41 @@ observable.  ``tests/test_engine_mp.py`` pins this for ``workers`` in
 {1, 2, 4}.  Simulated time is a *model* output — identical too — while
 wall-clock time is where the workers actually help.
 
+Fault tolerance
+---------------
+Rank failure is the norm at the paper's target scale, so the driver
+*supervises* its workers instead of dying with them:
+
+* **Detection** — a worker that exits (pipe EOF, exit code recorded) or
+  that misses the per-superstep heartbeat (``worker_timeout_s``; hung
+  workers are hard-killed) raises an internal death record, never a
+  bare ``EOFError``.
+* **Checkpoint** — every ``checkpoint_interval`` supersteps the driver
+  gathers each worker's owned-vertex state (:meth:`mp_collect`, the
+  same snapshot the phase-end merge uses) and clears its *replay log*
+  (the per-superstep inbox shards since the last checkpoint).
+* **Recovery** — a dead worker is forked afresh, re-materialised from
+  the phase-start program snapshot, restored from its last checkpoint,
+  and re-driven through the logged supersteps (emissions discarded —
+  the cluster already consumed them) before the *current* superstep is
+  re-executed for its emissions.  Because a superstep is a
+  deterministic function of checkpointed state, the recovered
+  emissions, the resulting tree, and **every BSP counter** are
+  bit-identical to a fault-free run (``tests/test_faults.py`` pins
+  this by killing a worker at every superstep index in turn).
+* **Escalation** — after ``max_restarts`` restarts within one phase
+  the engine raises :class:`~repro.errors.WorkerCrashError` (the
+  transient class the serve layer retries), carrying restart
+  provenance; ``restarts`` / ``replayed_supersteps`` /
+  ``recovery_wall_s`` are exposed for
+  :class:`~repro.runtime.engines.EngineResult` and solver provenance.
+
+Deterministic chaos comes from :class:`repro.faults.FaultPlan`
+(``SolverConfig(fault_plan=...)`` or the ``REPRO_FAULT_PLAN`` env
+hook): ``kill_worker`` actions hard-kill a worker just before a chosen
+superstep, ``delay_worker`` actions stall one long enough to trip the
+heartbeat.
+
 Fallback rules (the engine is total over every program):
 
 * ``workers <= 1``, or the platform lacks the ``fork`` start method
@@ -69,23 +104,31 @@ A program opts in by implementing, on top of the batch protocol:
 ``mp_merge(collected) -> None``
     Fold one worker's collected state into the driver's program.
 
+``mp_collect``/``mp_merge`` double as the checkpoint format: restoring
+a fresh replica is ``mp_materialize`` (phase snapshot) followed by
+``mp_merge`` (its own last collect), which reconstructs the exact state
+the worker held at the checkpointed superstep.
+
 Pool lifecycle: workers start lazily on the first multiprocess phase
 and persist across phases (the solver runs phases 1 and 6 on one
 engine).  :meth:`BSPMultiprocessEngine.close` — called by the solver in
 a ``finally`` and by ``run_phase_with`` — always shuts the pool down,
-so no processes leak even when a phase raises; workers are daemonic as
-a second line of defence.
+escalating ``terminate`` → ``kill`` on a wedged child so solver exit
+can never hang; workers are daemonic as a second line of defence.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 import traceback
 from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, WorkerCrashError
+from repro.faults import FaultPlan, env_plan
 from repro.runtime.cost_model import MachineModel
 from repro.runtime.engine import PhaseStats, VertexProgram
 from repro.runtime.engine_batched import (
@@ -97,6 +140,8 @@ from repro.runtime.partition import PartitionedGraph
 from repro.runtime.queues import QueueDiscipline
 
 __all__ = [
+    "DEFAULT_CHECKPOINT_INTERVAL",
+    "DEFAULT_MAX_RESTARTS",
     "DEFAULT_WORKERS",
     "BSPMultiprocessEngine",
     "fork_available",
@@ -107,6 +152,18 @@ __all__ = [
 #: than ``os.cpu_count()``) so runs are reproducible across machines —
 #: the determinism contract of ``repro-steiner engines --bench``
 DEFAULT_WORKERS = 2
+
+#: take an owned-state checkpoint every K supersteps (the replay log —
+#: the inboxes a recovery must re-drive — never exceeds K supersteps)
+DEFAULT_CHECKPOINT_INTERVAL = 4
+
+#: worker restarts tolerated per phase before escalating to
+#: :class:`~repro.errors.WorkerCrashError`
+DEFAULT_MAX_RESTARTS = 2
+
+#: exit code of a fault-injected crash (``kill_worker`` actions), so a
+#: chaos log can tell injected deaths from real ones
+_INJECTED_EXIT = 17
 
 _MP_HOOKS = ("mp_clone_payload", "mp_materialize", "mp_collect", "mp_merge")
 
@@ -140,16 +197,32 @@ def supports_mp(program: VertexProgram) -> bool:
     )
 
 
+class _WorkerDeath(Exception):
+    """Internal: worker ``worker`` stopped responding (crash or hang).
+
+    Never escapes the engine — recovery either replaces the worker or
+    escalates to :class:`~repro.errors.WorkerCrashError`.
+    """
+
+    def __init__(self, worker: int, reason: str, exitcode: int | None) -> None:
+        self.worker = worker
+        self.reason = reason
+        self.exitcode = exitcode
+        super().__init__(f"worker {worker}: {reason} (exitcode={exitcode})")
+
+
 # --------------------------------------------------------------------- #
 # worker side
 # --------------------------------------------------------------------- #
 def _worker_main(conn, partition: PartitionedGraph, owned: np.ndarray) -> None:
-    """Serve phase/step/collect commands over ``conn`` until stopped.
+    """Serve phase/step/restore/collect commands over ``conn``.
 
     Runs in a forked child: ``partition`` and ``owned`` arrive through
     inherited memory, not pickling.  Any exception is reported back as
     an ``("error", traceback)`` reply instead of killing the child
-    silently, so the driver can surface it.
+    silently, so the driver can surface it.  The ``crash`` command
+    (fault injection) exits hard — indistinguishable from an OOM kill
+    from the driver's side, which is the point.
     """
     program = None
     while True:
@@ -160,13 +233,20 @@ def _worker_main(conn, partition: PartitionedGraph, owned: np.ndarray) -> None:
         cmd = msg[0]
         if cmd == "stop":
             break
+        if cmd == "crash":  # injected fault: die without a reply
+            os._exit(_INJECTED_EXIT)
         try:
             if cmd == "phase":
                 _, cls, payload = msg
                 program = cls.mp_materialize(partition, payload)
                 conn.send(("ok", None))
+            elif cmd == "restore":
+                program.mp_merge(msg[1])
+                conn.send(("ok", None))
             elif cmd == "step":
-                _, targets, payload = msg
+                _, targets, payload, delay_s = msg
+                if delay_s > 0:  # injected straggler
+                    time.sleep(delay_s)
                 conn.send(
                     (
                         "ok",
@@ -194,96 +274,158 @@ def _worker_main(conn, partition: PartitionedGraph, owned: np.ndarray) -> None:
 # driver side
 # --------------------------------------------------------------------- #
 class _RankWorkerPool:
-    """A persistent pool of forked workers, one per group of ranks.
+    """A supervised pool of forked workers, one per group of ranks.
 
     ``rank_worker[r]`` maps simulated rank ``r`` to its worker — the
     same contiguous-block assignment the partitioner uses for vertices,
-    so rank locality survives the extra layer.
+    so rank locality survives the extra layer.  Individual workers can
+    be respawned in place (:meth:`respawn`); failure shows up as
+    :class:`_WorkerDeath` from :meth:`recv`, never as a raw pipe error.
     """
 
-    def __init__(self, partition: PartitionedGraph, n_workers: int) -> None:
-        ctx = multiprocessing.get_context("fork")
+    def __init__(
+        self,
+        partition: PartitionedGraph,
+        n_workers: int,
+        *,
+        timeout_s: float | None = None,
+    ) -> None:
+        self._ctx = multiprocessing.get_context("fork")
+        self.partition = partition
+        self.timeout_s = timeout_s
         n_ranks = partition.n_ranks
         self.n_workers = n_workers
         self.rank_worker = (
             np.arange(n_ranks, dtype=np.int64) * n_workers
         ) // n_ranks
-        self._conns = []
-        self._procs = []
         worker_of_vertex = self.rank_worker[partition.owner]
+        self._owned = [
+            np.nonzero(worker_of_vertex == w)[0].astype(np.int64)
+            for w in range(n_workers)
+        ]
+        self._conns: list = [None] * n_workers
+        self._procs: list = [None] * n_workers
         for w in range(n_workers):
-            owned = np.nonzero(worker_of_vertex == w)[0].astype(np.int64)
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, partition, owned),
-                daemon=True,
-                name=f"bsp-mp-worker-{w}",
-            )
-            proc.start()
-            child_conn.close()
-            self._conns.append(parent_conn)
-            self._procs.append(proc)
+            self._spawn(w)
 
     # ------------------------------------------------------------------ #
-    def broadcast(self, msg: tuple) -> list:
-        """Send one command to every worker; gather replies in worker
-        order (the pool's deterministic-iteration guarantee)."""
-        for conn in self._conns:
-            conn.send(msg)
-        return [self._recv(conn) for conn in self._conns]
-
-    def step(
-        self,
-        targets: np.ndarray,
-        payload: np.ndarray,
-        worker_of_msg: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Scatter one superstep's inbox by worker, gather and
-        concatenate the emissions (worker order, hence deterministic)."""
-        for w, conn in enumerate(self._conns):
-            shard = worker_of_msg == w
-            conn.send(("step", targets[shard], payload[shard]))
-        parts = [self._recv(conn) for conn in self._conns]
-        return (
-            np.concatenate([p[0] for p in parts]),
-            np.concatenate([p[1] for p in parts]),
-            np.vstack([p[2] for p in parts]),
+    def _spawn(self, w: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.partition, self._owned[w]),
+            daemon=True,
+            name=f"bsp-mp-worker-{w}",
         )
+        proc.start()
+        child_conn.close()
+        self._conns[w] = parent_conn
+        self._procs[w] = proc
 
-    def _recv(self, conn):
+    def respawn(self, w: int) -> None:
+        """Replace worker ``w`` with a fresh fork (reaping the corpse).
+
+        The new child forks from the *driver*, so it inherits the same
+        copy-on-write partition pages as the original — respawning
+        never re-pickles the graph."""
+        self._reap(w)
+        self._spawn(w)
+
+    def _reap(self, w: int) -> None:
+        """Dispose of worker ``w``: close its pipe, then join with
+        ``terminate`` → ``kill`` escalation so a wedged child can never
+        stall the driver."""
+        conn, proc = self._conns[w], self._procs[w]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._conns[w] = None
+        if proc is not None:
+            _join_escalating(proc)
+            self._procs[w] = None
+
+    # ------------------------------------------------------------------ #
+    def send(self, w: int, msg: tuple) -> None:
+        """Send one command to worker ``w``; a broken pipe is deferred —
+        the matching :meth:`recv` reports the death."""
         try:
+            self._conns[w].send(msg)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def recv(self, w: int):
+        """One reply from worker ``w``.
+
+        Raises :class:`_WorkerDeath` when the worker exited (pipe EOF;
+        exit code attached) or missed the heartbeat (``timeout_s``
+        without a reply; the hung child is hard-killed first so its
+        eventual reply can never desynchronise the pipe).  A worker
+        *error* reply — the program itself raised — stays a
+        :class:`SimulationError`: it is deterministic and would recur
+        on replay, so it must not be retried.
+        """
+        conn, proc = self._conns[w], self._procs[w]
+        if conn is None or proc is None:  # pragma: no cover - guard
+            raise _WorkerDeath(w, "no live worker", None)
+        try:
+            if self.timeout_s is not None and not conn.poll(self.timeout_s):
+                _join_escalating(proc)
+                raise _WorkerDeath(
+                    w,
+                    f"heartbeat timeout ({self.timeout_s}s without a reply)",
+                    proc.exitcode,
+                )
             status, value = conn.recv()
         except (EOFError, OSError) as exc:
-            # the worker died without replying (OOM kill, segfault):
-            # name it rather than surfacing a contextless EOFError
-            raise SimulationError(
-                f"bsp-mp worker {self._conns.index(conn)} died "
-                f"unexpectedly (no reply on its pipe)"
+            proc.join(timeout=5)
+            raise _WorkerDeath(
+                w, "died unexpectedly (no reply on its pipe)", proc.exitcode
             ) from exc
         if status == "error":
             raise SimulationError(f"bsp-mp worker failed:\n{value}")
         return value
 
+    def call(self, w: int, msg: tuple):
+        """``send`` + ``recv`` for one worker."""
+        self.send(w, msg)
+        return self.recv(w)
+
     def close(self) -> None:
-        """Stop and join every worker; escalate to terminate on a
-        wedged child.  Idempotent."""
+        """Stop and join every worker, escalating ``terminate`` →
+        ``kill`` on any child that does not exit.  Idempotent."""
         for conn in self._conns:
+            if conn is None:
+                continue
             try:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - wedged child
-                proc.terminate()
-                proc.join(timeout=5)
+            if proc is not None:
+                _join_escalating(proc)
         for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        self._conns, self._procs = [], []
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+        self._conns = [None] * self.n_workers
+        self._procs = [None] * self.n_workers
+
+
+def _join_escalating(proc, grace_s: float = 5.0) -> None:
+    """Join ``proc`` with escalation: wait, ``terminate`` (SIGTERM),
+    ``kill`` (SIGKILL) — each with a bounded grace period — so a hung
+    or signal-ignoring child can never wedge solver exit."""
+    proc.join(timeout=grace_s)
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(timeout=grace_s)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=grace_s)
 
 
 class BSPMultiprocessEngine(BSPBatchedEngine):
@@ -293,6 +435,14 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
     would own no vertices); ``None`` means :data:`DEFAULT_WORKERS`.
     ``workers <= 1`` short-circuits to the in-process batched engine —
     same results, no processes.
+
+    Fault-tolerance knobs (see the module docstring):
+    ``checkpoint_interval`` supersteps between owned-state checkpoints,
+    ``max_restarts`` worker restarts tolerated per phase,
+    ``worker_timeout_s`` per-superstep heartbeat (``None`` disables
+    hang detection), ``fault_plan`` a deterministic
+    :class:`~repro.faults.FaultPlan` to inject (defaults to the
+    ``REPRO_FAULT_PLAN`` environment hook).
     """
 
     def __init__(
@@ -302,17 +452,49 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
         discipline: QueueDiscipline | str = QueueDiscipline.PRIORITY,
         *,
         workers: Optional[int] = None,
+        checkpoint_interval: Optional[int] = None,
+        max_restarts: Optional[int] = None,
+        worker_timeout_s: Optional[float] = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         super().__init__(partition, machine, discipline)
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1 (or None for the default)")
         resolved = DEFAULT_WORKERS if workers is None else workers
         self.workers = min(resolved, partition.n_ranks)
+        self.checkpoint_interval = (
+            DEFAULT_CHECKPOINT_INTERVAL
+            if checkpoint_interval is None
+            else checkpoint_interval
+        )
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        self.max_restarts = (
+            DEFAULT_MAX_RESTARTS if max_restarts is None else max_restarts
+        )
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if worker_timeout_s is not None and worker_timeout_s <= 0:
+            raise ValueError("worker_timeout_s must be > 0 (or None)")
+        self.worker_timeout_s = worker_timeout_s
+        self.fault_plan = fault_plan if fault_plan is not None else env_plan()
         #: provenance for benchmarks: workers actually used by the last
         #: ``run_phase`` (1 when a fallback kept execution in-process)
         self.workers_used = 1
+        #: recovery provenance, cumulative across phases (threaded into
+        #: ``EngineResult`` and solver ``provenance["fault_recovery"]``)
+        self.restarts = 0
+        self.replayed_supersteps = 0
+        self.recovery_wall_s = 0.0
         self._pool: _RankWorkerPool | None = None
         self._mp_active = False
+        # per-phase supervision state
+        self._phase_name = ""
+        self._phase_restarts = 0
+        self._phase_payload: tuple | None = None
+        self._superstep_idx = 0
+        self._ckpt_state: dict[int, object] = {}
+        self._replay_log: list[tuple] = []
 
     # ------------------------------------------------------------------ #
     def run_phase(
@@ -324,9 +506,9 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
         max_events: Optional[int] = None,
         max_supersteps: int = 1_000_000,
     ) -> PhaseStats:
-        """Run ``program`` to quiescence with rank-parallel supersteps
-        (in-process fallback per the module's fallback rules — counts
-        are identical either way)."""
+        """Run ``program`` to quiescence with rank-parallel, supervised
+        supersteps (in-process fallback per the module's fallback rules
+        — counts are identical either way)."""
         use_pool = (
             self.workers > 1
             and fork_available()
@@ -343,8 +525,12 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
                 max_supersteps=max_supersteps,
             )
         if self._pool is None:
-            self._pool = _RankWorkerPool(self.partition, self.workers)
+            self._pool = _RankWorkerPool(
+                self.partition, self.workers, timeout_s=self.worker_timeout_s
+            )
         self._mp_active = True
+        self._phase_name = name
+        self._phase_restarts = 0
         try:
             return super().run_phase(
                 name,
@@ -355,34 +541,187 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
             )
         finally:
             self._mp_active = False
+            self._phase_payload = None
+            self._ckpt_state = {}
+            self._replay_log = []
 
     # ------------------------------------------------------------------ #
-    # BSPBatchedEngine hooks: replicate / shard / gather
+    # BSPBatchedEngine hooks: replicate / shard / gather — supervised
     # ------------------------------------------------------------------ #
     def _phase_begin(self, program: VertexProgram) -> None:
-        if self._mp_active:
-            self._pool.broadcast(
-                ("phase", type(program), program.mp_clone_payload())
-            )
+        if not self._mp_active:
+            return
+        pool = self._pool
+        self._phase_payload = (type(program), program.mp_clone_payload())
+        self._superstep_idx = 0
+        self._ckpt_state = {}
+        self._replay_log = []
+        for w in range(pool.n_workers):
+            pool.send(w, ("phase", *self._phase_payload))
+        for w in range(pool.n_workers):
+            try:
+                pool.recv(w)
+            except _WorkerDeath as death:
+                self._recover_worker(death)
 
     def _superstep_batch(self, program, targets, payload, proc_rank, width):
         if not self._mp_active:
             return super()._superstep_batch(
                 program, targets, payload, proc_rank, width
             )
-        return self._pool.step(
-            targets, payload, self._pool.rank_worker[proc_rank]
+        pool = self._pool
+        idx = self._superstep_idx + 1
+        delays = self._inject_faults(idx)
+
+        worker_of_msg = pool.rank_worker[proc_rank]
+        shards: dict[int, tuple] = {}
+        for w in range(pool.n_workers):
+            mask = worker_of_msg == w
+            shards[w] = (targets[mask], payload[mask])
+            pool.send(w, ("step", *shards[w], delays.get(w, 0.0)))
+        parts: dict[int, tuple] = {}
+        dead: list[_WorkerDeath] = []
+        for w in range(pool.n_workers):
+            try:
+                parts[w] = pool.recv(w)
+            except _WorkerDeath as death:
+                dead.append(death)
+        for death in dead:
+            parts[death.worker] = self._recover_worker(
+                death, redrive_shard=shards[death.worker]
+            )
+
+        self._replay_log.append((targets, payload, worker_of_msg))
+        self._superstep_idx = idx
+        if idx - self._ckpt_superstep() >= self.checkpoint_interval:
+            self._take_checkpoint()
+
+        ordered = [parts[w] for w in range(pool.n_workers)]
+        return (
+            np.concatenate([p[0] for p in ordered]),
+            np.concatenate([p[1] for p in ordered]),
+            np.vstack([p[2] for p in ordered]),
         )
 
     def _phase_end(self, program: VertexProgram) -> None:
-        if self._mp_active:
-            for collected in self._pool.broadcast(("collect",)):
-                program.mp_merge(collected)
+        if not self._mp_active:
+            return
+        pool = self._pool
+        for w in range(pool.n_workers):
+            pool.send(w, ("collect",))
+        for w in range(pool.n_workers):
+            program.mp_merge(self._supervised_collect(w))
+
+    # ------------------------------------------------------------------ #
+    # supervision internals
+    # ------------------------------------------------------------------ #
+    def _ckpt_superstep(self) -> int:
+        """Superstep the current checkpoint/replay-log covers up to."""
+        return self._superstep_idx - len(self._replay_log)
+
+    def _inject_faults(self, superstep: int) -> dict[int, float]:
+        """Fire the plan's kill/delay actions scheduled for this
+        superstep; returns per-worker injected delays."""
+        plan, pool = self.fault_plan, self._pool
+        delays: dict[int, float] = {}
+        if plan is None:
+            return delays
+        for act in plan.take(
+            "kill_worker", phase=self._phase_name, superstep=superstep
+        ):
+            w = (act.worker or 0) % pool.n_workers
+            pool.send(w, ("crash",))
+        for act in plan.take(
+            "delay_worker", phase=self._phase_name, superstep=superstep
+        ):
+            delays[(act.worker or 0) % pool.n_workers] = act.delay_s
+        return delays
+
+    def _take_checkpoint(self) -> None:
+        """Snapshot every worker's owned-vertex state and clear the
+        replay log (recovery then re-drives at most
+        ``checkpoint_interval`` supersteps)."""
+        pool = self._pool
+        for w in range(pool.n_workers):
+            pool.send(w, ("collect",))
+        state = {w: self._supervised_collect(w) for w in range(pool.n_workers)}
+        self._ckpt_state = state
+        self._replay_log = []
+
+    def _supervised_collect(self, w: int):
+        """Receive worker ``w``'s pending ``collect`` reply, recovering
+        (and re-asking) if the worker died — a crash during collect
+        loses since-checkpoint state, so it is rebuilt first."""
+        pool = self._pool
+        while True:
+            try:
+                return pool.recv(w)
+            except _WorkerDeath as death:
+                self._recover_worker(death)
+                pool.send(w, ("collect",))
+
+    def _recover_worker(self, death: _WorkerDeath, *, redrive_shard=None):
+        """Respawn a dead/hung worker and re-drive it to the cluster's
+        current superstep.
+
+        Restore sequence: fresh fork → phase-start snapshot
+        (``mp_materialize``) → last checkpoint (``mp_merge`` of its own
+        collect) → replay of every logged superstep shard (emissions
+        discarded — the cluster consumed the originals) → optionally
+        the *current* superstep, whose emissions are returned.  Every
+        step is a deterministic function of restored state, so the
+        returned emissions are bit-identical to what the dead worker
+        would have produced.  Raises
+        :class:`~repro.errors.WorkerCrashError` once the phase's
+        restart budget is spent.
+        """
+        pool = self._pool
+        t0 = time.perf_counter()
+        while True:
+            w = death.worker
+            if self._phase_restarts >= self.max_restarts:
+                raise WorkerCrashError(
+                    f"bsp-mp worker {w} failed in phase "
+                    f"{self._phase_name!r} ({death.reason}) and the "
+                    f"restart budget is spent "
+                    f"({self._phase_restarts} restarts, "
+                    f"max_restarts={self.max_restarts})",
+                    restarts=self.restarts,
+                    exitcode=death.exitcode,
+                ) from death
+            self._phase_restarts += 1
+            self.restarts += 1
+            try:
+                pool.respawn(w)
+                pool.call(w, ("phase", *self._phase_payload))
+                if w in self._ckpt_state:
+                    pool.call(w, ("restore", self._ckpt_state[w]))
+                for targets, payload, worker_of_msg in self._replay_log:
+                    mask = worker_of_msg == w
+                    pool.call(
+                        w, ("step", targets[mask], payload[mask], 0.0)
+                    )
+                    self.replayed_supersteps += 1
+                emissions = None
+                if redrive_shard is not None:
+                    emissions = pool.call(
+                        w, ("step", *redrive_shard, 0.0)
+                    )
+                    self.replayed_supersteps += 1
+                self.recovery_wall_s += time.perf_counter() - t0
+                return emissions
+            except _WorkerDeath as again:
+                # the replacement died too (e.g. a plan that kills the
+                # same worker twice, or a persistently failing host
+                # slot) — loop, consuming another unit of the budget
+                death = again
 
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Shut the worker pool down (idempotent; the solver calls this
-        in a ``finally``, so exceptions never leak processes)."""
+        in a ``finally``, so exceptions never leak processes — and the
+        pool's ``terminate`` → ``kill`` escalation means even a wedged
+        child cannot stall exit)."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None

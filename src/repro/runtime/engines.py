@@ -11,8 +11,10 @@ Contract
 --------
 An engine is built by a registered factory
 ``(partition, machine=None, discipline=..., *, aggregate_remote=False,
-workers=None)`` — factories must accept (and may ignore) every keyword
-knob, so a single :func:`make_engine` call site serves all engines —
+workers=None, checkpoint_interval=None, max_restarts=None,
+worker_timeout_s=None, fault_plan=None)`` — factories must accept (and
+may ignore) every keyword knob, so a single :func:`make_engine` call
+site serves all engines —
 and exposes the :class:`~repro.runtime.engine.EngineBase` surface:
 
 * ``run_phase(name, program, initial_messages, *, max_events=None)``
@@ -141,6 +143,13 @@ class EngineResult:
         Worker processes the phase actually ran on: ``None`` for
         engines without a pool, ``1`` when ``bsp-mp`` fell back to
         in-process execution, the pool size otherwise.
+    restarts / replayed_supersteps / recovery_wall_s:
+        Fault-recovery provenance from ``bsp-mp``'s supervisor: worker
+        restarts performed, supersteps re-driven during recovery, and
+        wall-clock seconds spent recovering.  All zero on a fault-free
+        run and for engines without a pool — and whenever non-zero, the
+        results are still bit-identical to the fault-free run (the
+        recovery-preserves-parity contract, ``docs/robustness.md``).
     """
 
     stats: PhaseStats
@@ -148,6 +157,9 @@ class EngineResult:
     elapsed_s: float
     n_supersteps: Optional[int] = None
     workers: Optional[int] = None
+    restarts: int = 0
+    replayed_supersteps: int = 0
+    recovery_wall_s: float = 0.0
 
 
 def register_engine(
@@ -253,14 +265,23 @@ def make_engine(
     *,
     aggregate_remote: bool = False,
     workers: Optional[int] = None,
+    checkpoint_interval: Optional[int] = None,
+    max_restarts: Optional[int] = None,
+    worker_timeout_s: Optional[float] = None,
+    fault_plan=None,
 ) -> EngineBase:
     """Instantiate the named engine over a partitioned graph.
 
     ``workers`` sizes ``bsp-mp``'s process pool (``None`` = its
-    reproducible default); the in-process engines accept and ignore it,
-    so callers can thread the knob unconditionally.  The caller owns the
-    returned engine and must :meth:`~repro.runtime.engine.EngineBase.close`
-    it when done (a no-op for engines without external resources).
+    reproducible default); ``checkpoint_interval`` / ``max_restarts`` /
+    ``worker_timeout_s`` / ``fault_plan`` configure its fault-tolerance
+    layer (``None`` = engine defaults; see
+    :mod:`repro.runtime.engine_mp`).  The in-process engines accept and
+    ignore every pool knob, so callers can thread them unconditionally
+    — none of the knobs changes results (the recovery-preserves-parity
+    contract).  The caller owns the returned engine and must
+    :meth:`~repro.runtime.engine.EngineBase.close` it when done (a
+    no-op for engines without external resources).
     """
     return get_engine(name)(
         partition,
@@ -268,6 +289,10 @@ def make_engine(
         discipline,
         aggregate_remote=aggregate_remote,
         workers=workers,
+        checkpoint_interval=checkpoint_interval,
+        max_restarts=max_restarts,
+        worker_timeout_s=worker_timeout_s,
+        fault_plan=fault_plan,
     )
 
 
@@ -309,6 +334,9 @@ def run_phase_with(
         elapsed_s=elapsed,
         n_supersteps=getattr(engine, "n_supersteps", None),
         workers=getattr(engine, "workers_used", None),
+        restarts=getattr(engine, "restarts", 0),
+        replayed_supersteps=getattr(engine, "replayed_supersteps", 0),
+        recovery_wall_s=getattr(engine, "recovery_wall_s", 0.0),
     )
 
 
@@ -372,6 +400,10 @@ def _async_heap_factory(
     *,
     aggregate_remote: bool = False,
     workers: Optional[int] = None,
+    checkpoint_interval: Optional[int] = None,
+    max_restarts: Optional[int] = None,
+    worker_timeout_s: Optional[float] = None,
+    fault_plan=None,
 ) -> AsyncEngine:
     return AsyncEngine(
         partition, machine, discipline, aggregate_remote=aggregate_remote
@@ -388,6 +420,10 @@ def _bsp_factory(
     *,
     aggregate_remote: bool = False,
     workers: Optional[int] = None,
+    checkpoint_interval: Optional[int] = None,
+    max_restarts: Optional[int] = None,
+    worker_timeout_s: Optional[float] = None,
+    fault_plan=None,
 ) -> BSPEngine:
     # aggregation is an async-runtime knob; BSP already models bulk
     # per-superstep delivery, so the flag is accepted and ignored —
@@ -406,6 +442,10 @@ def _bsp_batched_factory(
     *,
     aggregate_remote: bool = False,
     workers: Optional[int] = None,
+    checkpoint_interval: Optional[int] = None,
+    max_restarts: Optional[int] = None,
+    worker_timeout_s: Optional[float] = None,
+    fault_plan=None,
 ) -> BSPBatchedEngine:
     return BSPBatchedEngine(partition, machine, discipline)
 
@@ -421,9 +461,20 @@ def _bsp_mp_factory(
     *,
     aggregate_remote: bool = False,
     workers: Optional[int] = None,
+    checkpoint_interval: Optional[int] = None,
+    max_restarts: Optional[int] = None,
+    worker_timeout_s: Optional[float] = None,
+    fault_plan=None,
 ) -> BSPMultiprocessEngine:
     return BSPMultiprocessEngine(
-        partition, machine, discipline, workers=workers
+        partition,
+        machine,
+        discipline,
+        workers=workers,
+        checkpoint_interval=checkpoint_interval,
+        max_restarts=max_restarts,
+        worker_timeout_s=worker_timeout_s,
+        fault_plan=fault_plan,
     )
 
 
@@ -452,6 +503,10 @@ def _register_bsp_native() -> None:
         *,
         aggregate_remote: bool = False,
         workers: Optional[int] = None,
+        checkpoint_interval: Optional[int] = None,
+        max_restarts: Optional[int] = None,
+        worker_timeout_s: Optional[float] = None,
+        fault_plan=None,
     ):
         from repro.runtime.engine_native import BSPNativeEngine
 

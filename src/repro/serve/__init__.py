@@ -20,16 +20,28 @@ See ``docs/serve.md`` for the protocol and the cache-key contract.
 
 from repro.serve.batch import FusedSweep, fused_multisource, stack_graphs
 from repro.serve.cache import CacheStats, SolveCache, solution_key
-from repro.serve.protocol import ProtocolHandler
+from repro.serve.protocol import MAX_LINE_BYTES, OversizedLineError, ProtocolHandler
 from repro.serve.server import make_tcp_server, serve_stdio, serve_tcp
-from repro.serve.service import ServeCounters, ServiceClosed, SolverService
+from repro.serve.service import (
+    QueueFull,
+    RequestTimeout,
+    ServeCounters,
+    ServiceClosed,
+    ServiceDraining,
+    SolverService,
+)
 
 __all__ = [
+    "MAX_LINE_BYTES",
     "CacheStats",
     "FusedSweep",
+    "OversizedLineError",
     "ProtocolHandler",
+    "QueueFull",
+    "RequestTimeout",
     "ServeCounters",
     "ServiceClosed",
+    "ServiceDraining",
     "SolveCache",
     "SolverService",
     "fused_multisource",

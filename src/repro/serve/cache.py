@@ -23,6 +23,15 @@ before being counted as a miss.  Entries are content-addressed by a
 digest of the key, so the directory can be shared by several servers
 on one machine.
 
+The disk tier is hardened against torn/corrupt pickles (a crash mid
+``rename``, bit rot, a concurrent writer on a non-atomic filesystem):
+any failure to load an entry quarantines the bad file under a
+``.corrupt`` suffix — so it is inspectable but never re-read — counts
+it in ``stats.corrupt``, and the lookup continues as a plain miss.
+Corruption is injectable for chaos tests via a
+:class:`~repro.faults.FaultPlan` carrying ``corrupt_cache`` actions
+(each consumed action garbles the next entry written).
+
 The cache is duck-typed from the solver's side (``get_solution`` /
 ``put_solution`` / ``get_diagram`` / ``put_diagram``) — tests can
 substitute an instrumented implementation.
@@ -73,6 +82,7 @@ class CacheStats:
     diagram_misses: int = 0
     disk_hits: int = 0
     evictions: int = 0
+    corrupt: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -82,6 +92,7 @@ class CacheStats:
             "diagram_misses": self.diagram_misses,
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
+            "corrupt": self.corrupt,
         }
 
 
@@ -122,6 +133,10 @@ class SolveCache:
         When set, solutions are pickled under this directory
         (created if missing) and reloaded on in-memory misses — warm
         state across server restarts.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan`; its ``corrupt_cache``
+        actions garble disk entries as they are written (deterministic
+        torn-write injection for the chaos suite).
     """
 
     def __init__(
@@ -129,6 +144,8 @@ class SolveCache:
         max_solutions: int = 128,
         max_diagrams: int = 32,
         disk_dir: str | Path | None = None,
+        *,
+        fault_plan=None,
     ) -> None:
         if max_solutions < 1 or max_diagrams < 1:
             raise ValueError("cache capacities must be >= 1")
@@ -136,6 +153,7 @@ class SolveCache:
         self._diagrams = _LRU(max_diagrams)
         self._lock = threading.Lock()
         self.stats = CacheStats()
+        self.fault_plan = fault_plan
         self.disk_dir: Path | None = None
         if disk_dir is not None:
             self.disk_dir = Path(disk_dir)
@@ -220,11 +238,44 @@ class SolveCache:
             tmp.replace(path)  # atomic within one filesystem
         except OSError:  # disk tier is best-effort, never fatal
             tmp.unlink(missing_ok=True)
+            return
+        if self.fault_plan is not None and self.fault_plan.take("corrupt_cache"):
+            # injected torn write: truncate mid-entry, as a crash between
+            # write and rename would leave it on a non-atomic filesystem
+            try:
+                data = path.read_bytes()
+                path.write_bytes(data[: max(1, len(data) // 2)])
+            except OSError:  # pragma: no cover - injection best-effort
+                pass
 
     def _disk_load(self, key: Hashable) -> Optional[SteinerTreeResult]:
+        """Load one disk entry; any failure quarantines the file and
+        reads as a miss.
+
+        The catch is deliberately broad: unpickling executes arbitrary
+        reconstruction code, so torn writes surface not just as
+        :class:`pickle.UnpicklingError` but as ``AttributeError``,
+        ``ImportError``, ``MemoryError``... — none of which may take
+        down the service over one bad cache file.
+        """
         path = self._disk_path(key)
         try:
             with open(path, "rb") as fh:
                 return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError):
+        except OSError:
+            return None  # absent or unreadable: a plain miss
+        except Exception:
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside (``<name>.corrupt``) so it is
+        never re-read but stays inspectable; count it."""
+        self.stats.corrupt += 1
+        try:
+            path.replace(path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:  # pragma: no cover - the rename is best-effort
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass

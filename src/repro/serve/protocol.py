@@ -8,9 +8,16 @@ stdio and TCP, tests drive it with plain strings.
 Robustness contract: a malformed line (bad JSON, unknown op, missing
 fields) produces an ``ok: false`` error envelope on the output stream
 and the connection stays up; only EOF or an explicit ``shutdown`` op
-ends the conversation.  Solve responses are written as they complete —
-batched requests resolve together, so responses may arrive out of
-request order; clients correlate by ``id``.
+ends the conversation.  Line length is bounded
+(:data:`MAX_LINE_BYTES`, overridable per handler): an oversized frame
+is answered with a structured ``oversized`` error and the rest of the
+line is discarded without ever being buffered — a misbehaving client
+cannot balloon server memory.  A transport that dies mid-read
+(``ConnectionResetError`` on a socket) must still let in-flight solves
+resolve; the stream transports guarantee it by draining before
+returning.  Solve responses are written as they complete — batched
+requests resolve together, so responses may arrive out of request
+order; clients correlate by ``id``.
 """
 
 from __future__ import annotations
@@ -29,7 +36,25 @@ from repro.api.schema import (
 )
 from repro.serve.service import SolverService
 
-__all__ = ["ProtocolHandler"]
+__all__ = ["MAX_LINE_BYTES", "OversizedLineError", "ProtocolHandler"]
+
+#: default request-line bound (bytes).  Generous — a 1 MiB line holds a
+#: seed list ~100k entries long — while keeping a single bad client
+#: from buffering unbounded garbage in server memory.
+MAX_LINE_BYTES = 1 << 20
+
+
+class OversizedLineError(ValueError):
+    """A request line exceeded the protocol's byte bound
+    (``error.code == "oversized"``)."""
+
+    code = "oversized"
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        super().__init__(
+            f"request line exceeds the protocol bound of {limit} bytes"
+        )
 
 
 class ProtocolHandler:
@@ -50,6 +75,9 @@ class ProtocolHandler:
         Invoked once when this conversation sees a ``shutdown`` op
         (after the acknowledgement is written); the transport uses it
         to stop its accept loop.
+    max_line_bytes:
+        Request-line bound for :meth:`handle_line` (and advertised to
+        transports that enforce it during the read itself).
     """
 
     def __init__(
@@ -58,8 +86,12 @@ class ProtocolHandler:
         write: Callable[[str], None],
         *,
         on_shutdown: Callable[[], None] | None = None,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ) -> None:
+        if max_line_bytes < 1:
+            raise ValueError("max_line_bytes must be >= 1")
         self.service = service
+        self.max_line_bytes = max_line_bytes
         self._write = write
         self._on_shutdown = on_shutdown
         self._write_lock = threading.Lock()
@@ -72,9 +104,21 @@ class ProtocolHandler:
         with self._write_lock:
             self._write(line)
 
+    def reject_oversized(self) -> None:
+        """Answer an oversized frame a transport refused to buffer (the
+        structured ``oversized`` error; the conversation stays up)."""
+        self.send(
+            error_payload(None, OversizedLineError(self.max_line_bytes))
+        )
+
     def handle_line(self, line: str) -> bool:
         """Process one request line; returns ``False`` when the
         conversation should end (``shutdown``), ``True`` otherwise."""
+        if len(line) > self.max_line_bytes:
+            # byte-counting transports never get here (they bound the
+            # read itself); string callers get the same structured error
+            self.reject_oversized()
+            return True
         line = line.strip()
         if not line:
             return True
@@ -103,6 +147,15 @@ class ProtocolHandler:
             return True
         if op == "graphs":
             self.send(response_payload(request.id, graphs=self.service.graphs()))
+            return True
+        if op == "health":
+            self.send(response_payload(request.id, health=self.service.health()))
+            return True
+        if op == "drain":
+            # blocks this conversation (not the service) until admitted
+            # work is answered; the payload reports the outcome
+            drained = self.service.drain()
+            self.send(response_payload(request.id, drained=drained))
             return True
         if op == "shutdown":
             self.drain()

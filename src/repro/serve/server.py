@@ -7,6 +7,18 @@ each connection on its own thread, so concurrent clients feed the
 service's batching window exactly like concurrent stdio pipelines
 would.
 
+Robustness: the TCP transport bounds every read at the protocol's
+line limit — an oversized frame is answered with the structured
+``oversized`` error and the remainder of the line is discarded in
+fixed-size chunks, never buffered whole — and a client that dies
+mid-read or mid-write (reset, broken pipe) ends only its own
+conversation, after the handler's in-flight solves have resolved (the
+batching worker must never inherit a write into a dead socket as a
+crash).  With a ``drop_connection`` fault armed on the service's
+:class:`~repro.faults.FaultPlan`, the transport severs the connection
+just before writing the next response — the chaos probe for exactly
+that client-death path.
+
 Neither entry point closes the service it is given: the caller (the
 ``repro-steiner serve`` CLI, a test fixture, a benchmark) owns the
 service lifecycle and may run several transports against it.
@@ -14,6 +26,7 @@ service lifecycle and may run several transports against it.
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import sys
 import threading
@@ -35,7 +48,9 @@ def serve_stdio(
     Reads until EOF or a ``shutdown`` op, answering every accepted
     request before returning.  Returns the number of request lines
     consumed.  Responses are flushed per line so pipeline clients can
-    interleave requests with responses.
+    interleave requests with responses.  Oversized lines are bounded by
+    the handler itself (stdio is a trusted local pipe; the hard
+    read-side bound lives in the TCP transport, where the peer is not).
     """
     instream = sys.stdin if instream is None else instream
     outstream = sys.stdout if outstream is None else outstream
@@ -61,6 +76,17 @@ class _Handler(socketserver.StreamRequestHandler):
         server: "_Server" = self.server  # type: ignore[assignment]
 
         def write(line: str) -> None:
+            plan = server.service.fault_plan
+            if plan is not None and plan.take("drop_connection"):
+                # injected fault: the client vanishes just before its
+                # response hits the wire (mid-response from its view).
+                # shutdown(), not close(): rfile/wfile hold io-refs on
+                # the socket, so close() alone would never send the FIN
+                try:
+                    self.connection.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                return
             try:
                 self.wfile.write(line.encode() + b"\n")
                 self.wfile.flush()
@@ -70,14 +96,34 @@ class _Handler(socketserver.StreamRequestHandler):
         handler = ProtocolHandler(
             server.service, write, on_shutdown=server.request_shutdown
         )
-        for raw in self.rfile:
-            try:
+        limit = handler.max_line_bytes
+        try:
+            while True:
+                # bounded read: at most limit+1 bytes are ever buffered
+                # for one line, no matter what the client sends
+                raw = self.rfile.readline(limit + 1)
+                if not raw:
+                    break  # EOF
+                if len(raw) > limit and not raw.endswith(b"\n"):
+                    self._discard_to_newline()
+                    handler.reject_oversized()
+                    continue
                 line = raw.decode("utf-8", errors="replace")
-            except Exception:
-                continue
-            if not handler.handle_line(line):
-                return
+                if not handler.handle_line(line):
+                    return
+        except (ConnectionResetError, BrokenPipeError, OSError, ValueError):
+            # the socket died mid-read; treat like EOF — in-flight
+            # solves still resolve below (their writes no-op harmlessly)
+            pass
         handler.drain()
+
+    def _discard_to_newline(self) -> None:
+        """Skip the rest of an oversized line in fixed-size chunks —
+        O(chunk) memory however long the line is."""
+        while True:
+            chunk = self.rfile.readline(65536)
+            if not chunk or chunk.endswith(b"\n"):
+                return
 
 
 class _Server(socketserver.ThreadingTCPServer):

@@ -22,6 +22,17 @@ Every response's ``provenance`` records how it was produced
 (``cache_hit``, ``batch_size``, ``coalesced``, ``fused_sweep``,
 ``request_id``); service-wide counters are exposed through the
 ``stats`` op and drive ``benchmarks/bench_serve.py``.
+
+Robustness (``docs/robustness.md``): requests may carry a
+``deadline_ms`` budget — expiry in-queue or mid-batch answers with a
+structured ``timeout`` error instead of hanging; ``max_queue_depth``
+bounds admission, shedding excess load with a ``retry_after_ms`` hint;
+transient solve failures (the ``bsp-mp`` worker-crash class,
+:class:`~repro.errors.WorkerCrashError` — *never* deterministic
+errors, which would recur identically) are retried with exponential
+backoff; :meth:`SolverService.drain` stops admissions and waits out
+in-flight work for graceful shutdown, and :meth:`SolverService.health`
+reports liveness for load balancers.
 """
 
 from __future__ import annotations
@@ -36,14 +47,50 @@ from repro.api import Session, _apply_overrides
 from repro.api.schema import SolveRequest, parse_request
 from repro.core.config import SolverConfig
 from repro.core.result import SteinerTreeResult
+from repro.errors import WorkerCrashError
+from repro.faults import env_plan
 from repro.serve.batch import fused_multisource
 from repro.serve.cache import SolveCache
 
-__all__ = ["ServeCounters", "ServiceClosed", "SolverService"]
+__all__ = [
+    "QueueFull",
+    "RequestTimeout",
+    "ServeCounters",
+    "ServiceClosed",
+    "ServiceDraining",
+    "SolverService",
+]
 
 
 class ServiceClosed(RuntimeError):
     """The service is shutting down and cannot accept requests."""
+
+
+class ServiceDraining(RuntimeError):
+    """The service is draining: in-flight work finishes, new solve
+    requests are refused (``error.code == "draining"``)."""
+
+    code = "draining"
+
+
+class RequestTimeout(RuntimeError):
+    """The request's ``deadline_ms`` budget expired before a result was
+    delivered (``error.code == "timeout"``) — whether still queued or
+    mid-batch, the client gets this instead of an indefinite wait."""
+
+    code = "timeout"
+
+
+class QueueFull(RuntimeError):
+    """Admission refused: the queue is at ``max_queue_depth``
+    (``error.code == "shed"``).  ``retry_after_ms`` is a backoff hint
+    sized from the current backlog."""
+
+    code = "shed"
+
+    def __init__(self, message: str, *, retry_after_ms: int) -> None:
+        self.retry_after_ms = int(retry_after_ms)
+        super().__init__(message)
 
 
 @dataclass
@@ -58,6 +105,9 @@ class ServeCounters:
     coalesced: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    retries: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -69,7 +119,17 @@ class ServeCounters:
             "coalesced": self.coalesced,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
         }
+
+
+def _timeout_error(pending: "_Pending") -> RequestTimeout:
+    return RequestTimeout(
+        f"request {pending.request.id!r} exceeded its deadline of "
+        f"{pending.request.deadline_ms} ms"
+    )
 
 
 class _Pending:
@@ -77,7 +137,7 @@ class _Pending:
     resolves with a result or an error."""
 
     __slots__ = ("request", "config", "graph_name", "on_done", "event",
-                 "result", "error")
+                 "result", "error", "deadline")
 
     def __init__(
         self,
@@ -93,6 +153,17 @@ class _Pending:
         self.event = threading.Event()
         self.result: SteinerTreeResult | None = None
         self.error: BaseException | None = None
+        # absolute monotonic expiry, stamped at admission; None = no
+        # deadline (the pre-deadline_ms behaviour)
+        self.deadline: float | None = (
+            time.monotonic() + request.deadline_ms / 1000.0
+            if request.deadline_ms is not None
+            else None
+        )
+
+    def expired(self) -> bool:
+        """Has the request's ``deadline_ms`` budget run out?"""
+        return self.deadline is not None and time.monotonic() > self.deadline
 
     def resolve(
         self,
@@ -148,6 +219,20 @@ class SolverService:
     graph_loader:
         ``name -> CSRGraph`` used by :meth:`open_graph`; defaults to
         :func:`repro.harness.datasets.load_dataset` (memoised).
+    max_queue_depth:
+        Admission bound: with more than this many requests already
+        queued, :meth:`submit` sheds the newcomer with :class:`QueueFull`
+        (``retry_after_ms`` sized from the backlog) instead of buffering
+        unbounded work.  ``None`` (default) = unbounded, the pre-PR-8
+        behaviour.
+    transient_retries / retry_backoff_s:
+        Exponential-backoff retry of *transient* solve failures — the
+        ``bsp-mp`` worker-crash class
+        (:class:`~repro.errors.WorkerCrashError`) only; deterministic
+        errors (bad seeds, disconnected components, program bugs) recur
+        identically and are never retried.  ``transient_retries`` extra
+        attempts (0 disables), first backoff ``retry_backoff_s``
+        seconds, doubling per attempt.
     """
 
     def __init__(
@@ -158,6 +243,9 @@ class SolverService:
         batch_window_s: float = 0.005,
         max_batch: int = 8,
         graph_loader: Callable[[str], Any] | None = None,
+        max_queue_depth: int | None = None,
+        transient_retries: int = 2,
+        retry_backoff_s: float = 0.05,
         **config_kwargs: Any,
     ) -> None:
         if config is not None and config_kwargs:
@@ -169,8 +257,13 @@ class SolverService:
             config_kwargs.setdefault("voronoi_backend", "delta-numpy")
             config = SolverConfig.from_kwargs(**config_kwargs)
         self.config = config
+        #: the deterministic chaos schedule every serve-tier consumer
+        #: (cache corruption, TCP connection drops) draws from
+        self.fault_plan = (
+            config.fault_plan if config.fault_plan is not None else env_plan()
+        )
         if cache is None or cache is True:
-            cache = SolveCache()
+            cache = SolveCache(fault_plan=self.fault_plan)
         self.cache: SolveCache | None = cache if cache is not False else None
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
@@ -178,6 +271,15 @@ class SolverService:
             raise ValueError("max_batch must be >= 1")
         self.batch_window_s = batch_window_s
         self.max_batch = max_batch
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        self.max_queue_depth = max_queue_depth
+        if transient_retries < 0:
+            raise ValueError("transient_retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        self.transient_retries = transient_retries
+        self.retry_backoff_s = retry_backoff_s
         if graph_loader is None:
             from repro.harness.datasets import load_dataset
 
@@ -190,6 +292,8 @@ class SolverService:
         self._cv = threading.Condition()
         self._worker: threading.Thread | None = None
         self._closed = False
+        self._draining = False
+        self._outstanding = 0  # admitted but not yet resolved
         self._started_at = time.monotonic()
 
     # ------------------------------------------------------------------ #
@@ -253,10 +357,33 @@ class SolverService:
         with self._cv:
             if self._closed:
                 raise ServiceClosed("service is closed")
+            if self._draining:
+                raise ServiceDraining(
+                    "service is draining and accepts no new solve requests"
+                )
+            if (
+                self.max_queue_depth is not None
+                and len(self._queue) >= self.max_queue_depth
+            ):
+                self.counters.shed += 1
+                raise QueueFull(
+                    f"admission queue is full "
+                    f"({len(self._queue)}/{self.max_queue_depth}); retry later",
+                    retry_after_ms=self._retry_after_ms(),
+                )
             self._queue.append(pending)
+            self._outstanding += 1
             self._ensure_worker()
             self._cv.notify_all()
         return pending
+
+    def _retry_after_ms(self) -> int:
+        """Backoff hint for shed requests: the time the current backlog
+        needs to clear, estimated at one batch per batch window (>= 1 ms
+        so clients always wait a nonzero interval)."""
+        # caller holds self._cv
+        backlog_batches = max(1, -(-len(self._queue) // self.max_batch))
+        return max(1, int(1000 * self.batch_window_s * backlog_batches))
 
     def solve(
         self,
@@ -285,11 +412,55 @@ class SolverService:
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "batch_window_s": self.batch_window_s,
             "max_batch": self.max_batch,
+            "max_queue_depth": self.max_queue_depth,
+            "queue_depth": len(self._queue),
             "default_config_fingerprint": self.config.fingerprint(),
         }
         if self.cache is not None:
             payload["cache"] = self.cache.stats.as_dict()
         return payload
+
+    def health(self) -> dict[str, Any]:
+        """The ``health`` op payload: liveness for load balancers —
+        cheap (no cache/session scans) and always answered, even while
+        draining."""
+        with self._cv:
+            status = (
+                "closed"
+                if self._closed
+                else "draining"
+                if self._draining
+                else "ok"
+            )
+            return {
+                "status": status,
+                "queue_depth": len(self._queue),
+                "outstanding": self._outstanding,
+                "max_queue_depth": self.max_queue_depth,
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+            }
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Graceful shutdown, phase one: stop admitting solve requests
+        (submits raise :class:`ServiceDraining`) and wait until every
+        already-admitted request has been answered.  Control ops
+        (``ping``/``stats``/``health``) keep working; call
+        :meth:`close` afterwards to release sessions.  Returns ``True``
+        when fully drained, ``False`` on timeout (work still in
+        flight).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            self._draining = True
+            self._cv.notify_all()
+            while self._outstanding > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cv.wait(remaining)
+            return True
 
     def close(self) -> None:
         """Stop accepting work, fail pending requests, join the worker."""
@@ -299,6 +470,7 @@ class SolverService:
             self._closed = True
             pending = list(self._queue)
             self._queue.clear()
+            self._outstanding -= len(pending)
             self._cv.notify_all()
             worker = self._worker
         for p in pending:
@@ -311,6 +483,10 @@ class SolverService:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     def __enter__(self) -> "SolverService":
         return self
@@ -346,6 +522,18 @@ class SolverService:
                     if remaining <= 0 or self._closed:
                         break
                     self._cv.wait(remaining)
+            # in-queue deadline expiry: a request that aged out while
+            # waiting is answered (with a structured timeout) rather
+            # than executed — late work would be wasted work
+            live: list[_Pending] = []
+            for p in batch:
+                if p.expired():
+                    self._finish(p, error=_timeout_error(p))
+                else:
+                    live.append(p)
+            if not live:
+                continue
+            batch = live
             self.counters.batches += 1
             for group in self._group(batch):
                 try:
@@ -419,8 +607,8 @@ class SolverService:
             seeds = sorted(seeds_key)
             shared_sweep = fused and seeds_key in fused_diagrams
             try:
-                result = solver.solve(
-                    seeds, diagram=fused_diagrams.get(seeds_key)
+                result = self._solve_with_retry(
+                    solver, seeds, fused_diagrams.get(seeds_key)
                 )
             except Exception as exc:
                 for p in pendings:
@@ -444,13 +632,44 @@ class SolverService:
                     p, result=replace(result, provenance=provenance)
                 )
 
+    def _solve_with_retry(self, solver, seeds, diagram):
+        """One solve, retrying *transient* failures only.
+
+        :class:`~repro.errors.WorkerCrashError` means the ``bsp-mp``
+        restart budget was spent — a re-run from scratch may well
+        succeed (fresh processes, fresh budget), so it is retried with
+        exponential backoff up to ``transient_retries`` times.  Every
+        other exception is deterministic (it would recur identically)
+        and propagates immediately.
+        """
+        attempt = 0
+        while True:
+            try:
+                return solver.solve(seeds, diagram=diagram)
+            except WorkerCrashError:
+                if attempt >= self.transient_retries:
+                    raise
+                backoff = self.retry_backoff_s * (2.0**attempt)
+                attempt += 1
+                self.counters.retries += 1
+                if backoff > 0:
+                    time.sleep(backoff)
+
     def _finish(
         self,
         pending: _Pending,
         result: SteinerTreeResult | None = None,
         error: BaseException | None = None,
     ) -> None:
-        if error is not None:
+        # mid-batch deadline expiry: the budget ran out while the batch
+        # executed — a late result is still a deadline miss, so the
+        # client gets the structured timeout it was promised
+        if error is None and pending.expired():
+            result, error = None, _timeout_error(pending)
+        if isinstance(error, RequestTimeout):
+            self.counters.timeouts += 1
+            self.counters.errors += 1
+        elif error is not None:
             self.counters.errors += 1
         else:
             self.counters.responses += 1
@@ -459,3 +678,6 @@ class SolverService:
             else:
                 self.counters.cache_misses += 1
         pending.resolve(result=result, error=error)
+        with self._cv:
+            self._outstanding -= 1
+            self._cv.notify_all()

@@ -168,6 +168,21 @@ class TestConfigFingerprint:
         )
         assert a.fingerprint() == b.fingerprint()
 
+    def test_fault_knobs_excluded(self):
+        """Recovery preserves parity, so the fault-tolerance knobs never
+        change results — they must NOT change the fingerprint (cache
+        entries stay shared across chaos and fault-free runs)."""
+        from repro.faults import FaultPlan
+
+        base = SolverConfig()
+        hardened = SolverConfig(
+            checkpoint_interval=2,
+            max_restarts=5,
+            worker_timeout_s=1.5,
+            fault_plan=FaultPlan.kill(worker=0, superstep=3),
+        )
+        assert base.fingerprint() == hardened.fingerprint()
+
 
 class TestFromKwargsAliases:
     @pytest.mark.parametrize("alias,canonical", sorted(CONFIG_FIELD_ALIASES.items()))

@@ -304,6 +304,28 @@ class TestPoolHygiene:
             p.name.startswith("bsp-mp-") for p in multiprocessing.active_children()
         )
 
+    def test_join_escalating_kills_sigterm_ignoring_child(self):
+        """Regression: pool teardown escalates terminate -> kill, so a
+        child that ignores SIGTERM (wedged in a signal-blind section)
+        still dies within the bounded grace period."""
+        import signal
+        import time
+
+        from repro.runtime.engine_mp import _join_escalating
+
+        def stubborn():
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            while True:
+                time.sleep(1)
+
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=stubborn, daemon=True)
+        proc.start()
+        t0 = time.monotonic()
+        _join_escalating(proc, grace_s=0.2)
+        assert not proc.is_alive()
+        assert time.monotonic() - t0 < 5  # bounded, never a hang
+
     def test_worker_crash_surfaces_and_cleans_up(self, random_graph):
         """A worker-side exception must come back as SimulationError
         (with the traceback) and leave no processes behind."""

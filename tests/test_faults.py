@@ -1,0 +1,692 @@
+"""The chaos suite: deterministic fault injection end to end.
+
+Everything here runs a *scripted* failure (:class:`repro.faults.FaultPlan`)
+against the robustness machinery of PR 8 and checks the documented
+contracts (``docs/robustness.md``):
+
+* ``bsp-mp`` recovery preserves parity — kill a worker at **every**
+  superstep in turn and the tree, converged arrays and every BSP
+  counter stay bit-identical to the fault-free run;
+* hung workers trip the heartbeat and recover the same way;
+* a spent restart budget escalates to
+  :class:`~repro.errors.WorkerCrashError` (the transient class the
+  serve layer retries) with provenance attached;
+* serve answers expired deadlines with a structured ``timeout`` error
+  (never hangs), sheds over-queue load with ``retry_after_ms``, retries
+  only worker-crash failures, drains gracefully, and survives clients
+  whose connections drop mid-response;
+* a corrupt disk-cache entry is quarantined (``.corrupt``), counted,
+  and served as a plain miss.
+
+Marked ``chaos``: the CI chaos job runs exactly this file with
+``-m chaos``; the full tier-1 run includes it too.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import SolverConfig
+from repro.core.solver import DistributedSteinerSolver
+from repro.core.voronoi_visitor import VoronoiProgram
+from repro.errors import WorkerCrashError
+from repro.faults import ENV_VAR, FaultAction, FaultPlan, env_plan
+from repro.graph.generators import grid_graph
+from repro.graph.weights import assign_uniform_weights
+from repro.runtime.engine_mp import BSPMultiprocessEngine, fork_available
+from repro.runtime.partition import block_partition
+from repro.serve import (
+    QueueFull,
+    RequestTimeout,
+    ServiceDraining,
+    SolveCache,
+    SolverService,
+    make_tcp_server,
+)
+from repro.serve.cache import CacheStats
+from tests.conftest import component_seeds, make_connected_graph
+
+pytestmark = pytest.mark.chaos
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
+)
+
+#: the full per-phase accounting surface the parity contract covers
+_COUNTERS = (
+    "n_visits",
+    "n_messages_local",
+    "n_messages_remote",
+    "bytes_sent",
+    "peak_queue_total",
+)
+
+
+def stat_tuple(stats):
+    return tuple(getattr(stats, attr) for attr in _COUNTERS) + (
+        stats.sim_time,
+        tuple(stats.busy_time),
+    )
+
+
+def run_voronoi(engine, partition, seeds):
+    prog = VoronoiProgram(partition)
+    try:
+        stats = engine.run_phase(
+            "Voronoi Cell", prog, list(prog.initial_messages(seeds))
+        )
+    finally:
+        engine.close()
+    return prog, stats
+
+
+# --------------------------------------------------------------------- #
+# the plan itself
+# --------------------------------------------------------------------- #
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(42, n_faults=5, kinds=("kill_worker", "delay_worker"))
+        b = FaultPlan.seeded(42, n_faults=5, kinds=("kill_worker", "delay_worker"))
+        assert a.actions == b.actions
+        assert FaultPlan.seeded(43).actions != a.actions
+
+    def test_actions_fire_once_and_reset(self):
+        plan = FaultPlan.kill(worker=1, superstep=3)
+        assert len(plan.take("kill_worker", superstep=3, worker=1)) == 1
+        assert plan.take("kill_worker", superstep=3, worker=1) == []
+        assert plan.pending() == 0
+        assert [a.kind for a in plan.fired()] == ["kill_worker"]
+        plan.reset()
+        assert plan.pending() == 1
+
+    def test_wildcard_and_filter_semantics(self):
+        plan = FaultPlan([FaultAction("kill_worker")])  # matches anywhere
+        assert plan.take("kill_worker", phase="x", superstep=9, worker=5)
+        plan = FaultPlan.kill(worker=0, superstep=2, phase="Voronoi Cell")
+        assert plan.take("kill_worker", phase="Tree Edges", superstep=2) == []
+        assert plan.take("kill_worker", phase="Voronoi Cell", superstep=2)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultAction("kill_worker", worker=1, superstep=4),
+                FaultAction("delay_worker", worker=0, superstep=2, delay_s=0.5),
+                FaultAction("corrupt_cache"),
+            ]
+        )
+        assert FaultPlan.from_json(plan.to_json()).actions == plan.actions
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultAction("explode")
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultAction("delay_worker", delay_s=-1.0)
+        with pytest.raises(ValueError, match="list"):
+            FaultPlan.from_json("42")
+
+    def test_env_plan_parsed_once_and_shared(self, monkeypatch, tmp_path):
+        text = FaultPlan.kill(worker=0, superstep=2).to_json()
+        monkeypatch.setenv(ENV_VAR, text)
+        first = env_plan()
+        assert first is env_plan()  # same instance: shared consumption
+        assert len(first) == 1
+        path = tmp_path / "plan.json"
+        path.write_text(text)
+        monkeypatch.setenv(ENV_VAR, f"@{path}")
+        from_file = env_plan()
+        assert from_file is not first
+        assert from_file.actions == first.actions
+        monkeypatch.delenv(ENV_VAR)
+        assert env_plan() is None
+
+    def test_env_plan_misconfig_is_loud(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "{not json")
+        with pytest.raises(ValueError):
+            env_plan()
+
+
+# --------------------------------------------------------------------- #
+# bsp-mp: recovery preserves parity
+# --------------------------------------------------------------------- #
+@needs_fork
+class TestKillRecoveryParity:
+    def test_kill_at_every_superstep_bit_identical(self):
+        """The acceptance anchor: kill each worker at each superstep
+        index in turn; every run recovers and reproduces the fault-free
+        converged arrays AND every BSP counter bit-identically."""
+        graph = make_connected_graph(30, 80, seed=11)
+        seeds = np.asarray(component_seeds(graph, 4, seed=5))
+        part = block_partition(graph, 6)
+        ref_engine = BSPMultiprocessEngine(part, workers=2)
+        ref_prog, ref_stats = run_voronoi(ref_engine, part, seeds)
+        n_steps = ref_engine.n_supersteps
+        assert n_steps >= 2
+
+        for worker in (0, 1):
+            for superstep in range(1, n_steps + 1):
+                engine = BSPMultiprocessEngine(
+                    part,
+                    workers=2,
+                    checkpoint_interval=3,
+                    fault_plan=FaultPlan.kill(worker=worker, superstep=superstep),
+                )
+                prog, stats = run_voronoi(engine, part, seeds)
+                label = f"kill worker {worker} @ superstep {superstep}"
+                assert engine.restarts == 1, label
+                assert engine.replayed_supersteps >= 1, label
+                assert engine.recovery_wall_s > 0, label
+                assert np.array_equal(ref_prog.src, prog.src), label
+                assert np.array_equal(ref_prog.dist, prog.dist), label
+                assert stat_tuple(stats) == stat_tuple(ref_stats), label
+
+    def test_replay_bounded_by_checkpoint_interval(self):
+        """Recovery re-drives at most ``checkpoint_interval`` supersteps
+        (the logged tail plus the current one)."""
+        graph = make_connected_graph(30, 80, seed=11)
+        seeds = np.asarray(component_seeds(graph, 4, seed=5))
+        part = block_partition(graph, 6)
+        engine = BSPMultiprocessEngine(
+            part,
+            workers=2,
+            checkpoint_interval=2,
+            fault_plan=FaultPlan.kill(worker=0, superstep=5),
+        )
+        run_voronoi(engine, part, seeds)
+        assert 1 <= engine.replayed_supersteps <= 2
+
+    def test_double_kill_recovers_within_budget(self):
+        graph = make_connected_graph(30, 80, seed=11)
+        seeds = np.asarray(component_seeds(graph, 4, seed=5))
+        part = block_partition(graph, 6)
+        ref_prog, ref_stats = run_voronoi(
+            BSPMultiprocessEngine(part, workers=2), part, seeds
+        )
+        plan = FaultPlan(
+            [
+                FaultAction("kill_worker", worker=1, superstep=2),
+                FaultAction("kill_worker", worker=1, superstep=4),
+            ]
+        )
+        engine = BSPMultiprocessEngine(
+            part, workers=2, checkpoint_interval=3, max_restarts=2, fault_plan=plan
+        )
+        prog, stats = run_voronoi(engine, part, seeds)
+        assert engine.restarts == 2
+        assert np.array_equal(ref_prog.dist, prog.dist)
+        assert stat_tuple(stats) == stat_tuple(ref_stats)
+
+    def test_hung_worker_trips_heartbeat_and_recovers(self):
+        graph = make_connected_graph(30, 80, seed=11)
+        seeds = np.asarray(component_seeds(graph, 4, seed=5))
+        part = block_partition(graph, 6)
+        ref_prog, ref_stats = run_voronoi(
+            BSPMultiprocessEngine(part, workers=2), part, seeds
+        )
+        plan = FaultPlan(
+            [FaultAction("delay_worker", worker=0, superstep=2, delay_s=5.0)]
+        )
+        engine = BSPMultiprocessEngine(
+            part, workers=2, worker_timeout_s=0.3, fault_plan=plan
+        )
+        prog, stats = run_voronoi(engine, part, seeds)
+        assert engine.restarts == 1
+        assert np.array_equal(ref_prog.dist, prog.dist)
+        assert stat_tuple(stats) == stat_tuple(ref_stats)
+
+    def test_spent_budget_escalates_with_provenance(self):
+        graph = make_connected_graph(30, 80, seed=11)
+        seeds = np.asarray(component_seeds(graph, 4, seed=5))
+        part = block_partition(graph, 6)
+        engine = BSPMultiprocessEngine(
+            part,
+            workers=2,
+            max_restarts=0,
+            fault_plan=FaultPlan.kill(worker=0, superstep=2),
+        )
+        with pytest.raises(WorkerCrashError, match="restart budget") as excinfo:
+            run_voronoi(engine, part, seeds)
+        assert excinfo.value.exitcode == 17  # the injected-crash marker
+        assert excinfo.value.restarts == 0
+        assert not any(
+            p.name.startswith("bsp-mp-") for p in multiprocessing.active_children()
+        )
+
+    def test_solver_tree_identical_with_recovery_provenance(self):
+        """Full solve through the public config surface: the tree is
+        bit-identical and ``provenance["fault_recovery"]`` records the
+        restart."""
+        graph = make_connected_graph(30, 80, seed=11)
+        seeds = component_seeds(graph, 4, seed=9)
+        base = SolverConfig(n_ranks=6, engine="bsp-mp", workers=2)
+        ref = DistributedSteinerSolver(graph, base).solve(seeds)
+        assert "fault_recovery" not in ref.provenance
+        faulty = SolverConfig(
+            n_ranks=6,
+            engine="bsp-mp",
+            workers=2,
+            checkpoint_interval=2,
+            fault_plan=FaultPlan.kill(worker=1, superstep=2),
+        )
+        res = DistributedSteinerSolver(graph, faulty).solve(seeds)
+        assert np.array_equal(ref.edges, res.edges)
+        assert ref.total_distance == res.total_distance
+        for p_ref, p_res in zip(ref.phases, res.phases):
+            assert stat_tuple(p_ref) == stat_tuple(p_res), p_ref.name
+        recovery = res.provenance["fault_recovery"]
+        assert recovery["restarts"] == 1
+        assert recovery["replayed_supersteps"] >= 1
+        assert recovery["recovery_wall_s"] > 0
+
+
+# --------------------------------------------------------------------- #
+# serve: deadlines, shedding, retry, drain, dropped clients
+# --------------------------------------------------------------------- #
+class _BlockingCache:
+    """Duck-typed cache whose lookups block on a gate until released —
+    pins the batching worker mid-batch so admission-control and
+    mid-batch-deadline tests are deterministic, not timing-dependent."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.stats = CacheStats()
+
+    def peek_solution(self, key):
+        self.gate.wait(30)
+        return None
+
+    def get_solution(self, key):
+        return None
+
+    def put_solution(self, key, result):
+        pass
+
+    def get_diagram(self, key):
+        return None
+
+    def put_diagram(self, key, diagram):
+        pass
+
+
+@pytest.fixture
+def graph():
+    return assign_uniform_weights(grid_graph(10, 10), (1, 9), seed=13)
+
+
+def make_service(graph, **kwargs):
+    kwargs.setdefault("batch_window_s", 0.01)
+    svc = SolverService(**kwargs)
+    svc.add_graph("g", graph)
+    return svc
+
+
+def tcp_fixture(svc):
+    server = make_tcp_server(svc)
+    port = server.server_address[1]
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05}, daemon=True
+    )
+    thread.start()
+    return server, port
+
+
+def tcp_chat(port, lines, n_responses, timeout=30):
+    """Send ``lines``, read ``n_responses`` JSON replies (bounded wait)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        f = s.makefile("rw", encoding="utf-8", newline="\n")
+        for line in lines:
+            f.write(line + "\n")
+        f.flush()
+        return [json.loads(f.readline()) for _ in range(n_responses)]
+
+
+class TestDeadlines:
+    def test_in_queue_expiry_structured_timeout(self, graph):
+        svc = make_service(graph, batch_window_s=0.3)
+        pending = svc.submit(
+            {"id": "d", "graph": "g", "seeds": [0, 9, 90], "deadline_ms": 1}
+        )
+        with pytest.raises(RequestTimeout, match="deadline"):
+            pending.wait(30)
+        svc.close()
+        assert svc.counters.timeouts == 1
+        assert svc.counters.responses == 0
+
+    def test_mid_batch_expiry_converts_late_result(self, graph):
+        """The budget runs out while the batch executes: the late result
+        is still answered as a structured timeout."""
+        cache = _BlockingCache()
+        svc = make_service(graph, cache=cache, batch_window_s=0)
+        pending = svc.submit(
+            {"id": "m", "graph": "g", "seeds": [0, 9, 90], "deadline_ms": 30}
+        )
+        time.sleep(0.1)  # let the deadline lapse while the worker is pinned
+        cache.gate.set()
+        with pytest.raises(RequestTimeout):
+            pending.wait(30)
+        svc.close()
+        assert svc.counters.timeouts == 1
+
+    def test_deadline_expiry_over_tcp_never_hangs(self, graph):
+        svc = make_service(graph, batch_window_s=0.3)
+        server, port = tcp_fixture(svc)
+        try:
+            (reply,) = tcp_chat(
+                port,
+                [
+                    json.dumps(
+                        {
+                            "id": "t",
+                            "graph": "g",
+                            "seeds": [0, 9, 90],
+                            "deadline_ms": 1,
+                        }
+                    )
+                ],
+                1,
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            svc.close()
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == "timeout"
+        assert reply["error"]["type"] == "RequestTimeout"
+
+    def test_no_deadline_is_unbounded(self, graph):
+        svc = make_service(graph, batch_window_s=0)
+        res = svc.solve("g", [0, 9, 90])
+        svc.close()
+        assert res.n_edges >= 2
+        assert svc.counters.timeouts == 0
+
+
+class TestShedding:
+    def _pin_worker(self, svc):
+        """Admit one request and wait until the batching worker holds it
+        (queue empty, worker blocked in the cache gate)."""
+        first = svc.submit({"id": "p0", "graph": "g", "seeds": [0, 9, 90]})
+        deadline = time.monotonic() + 10
+        while svc.stats()["queue_depth"] > 0:
+            assert time.monotonic() < deadline, "worker never picked up p0"
+            time.sleep(0.005)
+        return first
+
+    def test_queue_bound_sheds_with_retry_hint(self, graph):
+        cache = _BlockingCache()
+        svc = make_service(
+            graph, cache=cache, batch_window_s=0.05, max_batch=1, max_queue_depth=2
+        )
+        first = self._pin_worker(svc)
+        queued = [
+            svc.submit({"id": f"q{i}", "graph": "g", "seeds": [0, 9, 90 + i]})
+            for i in range(2)
+        ]
+        with pytest.raises(QueueFull, match="full") as excinfo:
+            svc.submit({"id": "shed", "graph": "g", "seeds": [0, 9, 95]})
+        assert excinfo.value.retry_after_ms >= 1
+        assert svc.counters.shed == 1
+        cache.gate.set()
+        assert first.wait(30).n_edges >= 2
+        for p in queued:
+            p.wait(30)
+        svc.close()
+
+    def test_shed_over_tcp_structured_error(self, graph):
+        cache = _BlockingCache()
+        svc = make_service(
+            graph, cache=cache, batch_window_s=0.05, max_batch=1, max_queue_depth=2
+        )
+        server, port = tcp_fixture(svc)
+        try:
+            first = self._pin_worker(svc)
+            with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+                f = s.makefile("rw", encoding="utf-8", newline="\n")
+                for i in range(3):
+                    f.write(
+                        json.dumps(
+                            {"id": f"c{i}", "graph": "g", "seeds": [0, 9, 90 + i]}
+                        )
+                        + "\n"
+                    )
+                f.flush()
+                # the shed error is written synchronously, before the
+                # pinned worker answers anything else
+                shed = json.loads(f.readline())
+                assert shed["ok"] is False
+                assert shed["error"]["code"] == "shed"
+                assert shed["error"]["retry_after_ms"] >= 1
+                cache.gate.set()
+                served = [json.loads(f.readline()) for _ in range(2)]
+                assert all(r["ok"] for r in served)
+            first.wait(30)
+        finally:
+            server.shutdown()
+            server.server_close()
+            svc.close()
+
+    def test_unbounded_by_default(self, graph):
+        svc = make_service(graph)
+        assert svc.max_queue_depth is None
+        pendings = [
+            svc.submit({"id": f"u{i}", "graph": "g", "seeds": [0, 9, 90]})
+            for i in range(32)
+        ]
+        for p in pendings:
+            p.wait(60)
+        svc.close()
+        assert svc.counters.shed == 0
+
+
+class _FlakySolver:
+    """Wraps a real solver; the first ``failures`` solves raise the
+    transient worker-crash class."""
+
+    def __init__(self, real, failures, error_cls=WorkerCrashError):
+        self.real = real
+        self.failures = failures
+        self.error_cls = error_cls
+        self.attempts = 0
+
+    def solution_key(self, seeds):
+        return self.real.solution_key(seeds)
+
+    def solve(self, seeds, diagram=None):
+        self.attempts += 1
+        if self.attempts <= self.failures:
+            if self.error_cls is WorkerCrashError:
+                raise WorkerCrashError(
+                    "injected transient crash", restarts=3, exitcode=17
+                )
+            raise self.error_cls("injected deterministic failure")
+        return self.real.solve(seeds, diagram=diagram)
+
+
+class TestTransientRetry:
+    def _flaky_service(self, graph, failures, error_cls=WorkerCrashError):
+        svc = make_service(
+            graph, batch_window_s=0, transient_retries=2, retry_backoff_s=0
+        )
+        session = svc._sessions["g"]
+        real_solver_for = session.solver_for
+        flaky: dict[tuple, _FlakySolver] = {}
+
+        def solver_for(config):
+            key = config.fingerprint()
+            if key not in flaky:
+                flaky[key] = _FlakySolver(
+                    real_solver_for(config), failures, error_cls
+                )
+            return flaky[key]
+
+        session.solver_for = solver_for
+        return svc, flaky
+
+    def test_worker_crash_retried_until_success(self, graph):
+        svc, flaky = self._flaky_service(graph, failures=2)
+        res = svc.solve("g", [0, 9, 90])
+        svc.close()
+        assert res.n_edges >= 2
+        assert svc.counters.retries == 2
+        assert next(iter(flaky.values())).attempts == 3
+
+    def test_worker_crash_budget_exhausted_propagates(self, graph):
+        svc, _ = self._flaky_service(graph, failures=10)
+        with pytest.raises(WorkerCrashError):
+            svc.solve("g", [0, 9, 90])
+        svc.close()
+        assert svc.counters.retries == 2  # transient_retries, then give up
+
+    def test_deterministic_errors_never_retried(self, graph):
+        svc, flaky = self._flaky_service(graph, failures=10, error_cls=ValueError)
+        with pytest.raises(ValueError, match="deterministic"):
+            svc.solve("g", [0, 9, 90])
+        svc.close()
+        assert svc.counters.retries == 0
+        assert next(iter(flaky.values())).attempts == 1
+
+
+class TestDrainAndHealth:
+    def test_drain_stops_admission_in_process(self, graph):
+        svc = make_service(graph, batch_window_s=0)
+        svc.solve("g", [0, 9, 90])
+        assert svc.health()["status"] == "ok"
+        assert svc.drain(timeout=30) is True
+        assert svc.draining
+        assert svc.health()["status"] == "draining"
+        with pytest.raises(ServiceDraining, match="draining"):
+            svc.submit({"id": "late", "graph": "g", "seeds": [0, 9]})
+        svc.close()
+        assert svc.health()["status"] == "closed"
+
+    def test_drain_then_shutdown_over_tcp(self, graph):
+        svc = make_service(graph, batch_window_s=0.01)
+        server, port = tcp_fixture(svc)
+        solve = json.dumps({"id": "s", "graph": "g", "seeds": [0, 9, 90]})
+        replies = tcp_chat(
+            port,
+            [
+                solve,
+                json.dumps({"id": "h1", "op": "health"}),
+                json.dumps({"id": "d", "op": "drain"}),
+                solve.replace('"s"', '"late"'),
+                json.dumps({"id": "h2", "op": "health"}),
+                json.dumps({"id": "bye", "op": "shutdown"}),
+            ],
+            6,
+        )
+        server.server_close()
+        svc.close()
+        by_id = {r["id"]: r for r in replies}
+        assert by_id["s"]["ok"] is True
+        assert by_id["h1"]["health"]["status"] == "ok"
+        assert by_id["d"]["drained"] is True
+        assert by_id["late"]["ok"] is False
+        assert by_id["late"]["error"]["code"] == "draining"
+        assert by_id["h2"]["health"]["status"] == "draining"
+        assert by_id["bye"]["shutting_down"] is True
+
+    def test_drain_timeout_reports_inflight_work(self, graph):
+        cache = _BlockingCache()
+        svc = make_service(graph, cache=cache, batch_window_s=0)
+        pending = svc.submit({"id": "w", "graph": "g", "seeds": [0, 9, 90]})
+        assert svc.drain(timeout=0.05) is False  # worker still pinned
+        cache.gate.set()
+        pending.wait(30)
+        assert svc.drain(timeout=30) is True
+        svc.close()
+
+
+class TestDroppedConnections:
+    def test_client_drop_mid_response_leaves_service_alive(self, graph):
+        plan = FaultPlan([FaultAction("drop_connection")])
+        svc = SolverService(
+            config=SolverConfig(voronoi_backend="delta-numpy", fault_plan=plan),
+            batch_window_s=0.01,
+        )
+        svc.add_graph("g", graph)
+        assert svc.fault_plan is plan
+        server, port = tcp_fixture(svc)
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+                f = s.makefile("rw", encoding="utf-8", newline="\n")
+                f.write(
+                    json.dumps({"id": "x", "graph": "g", "seeds": [0, 9, 90]}) + "\n"
+                )
+                f.flush()
+                # the injected fault severs the socket instead of writing
+                assert f.readline() == ""
+            assert plan.pending() == 0
+            # the service and its batching worker survived: a fresh
+            # client is served normally
+            (pong,) = tcp_chat(port, [json.dumps({"id": "p", "op": "ping"})], 1)
+            assert pong["pong"] is True
+            (served,) = tcp_chat(
+                port,
+                [json.dumps({"id": "y", "graph": "g", "seeds": [0, 9, 90]})],
+                1,
+            )
+            assert served["ok"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+            svc.close()
+        # the dropped request WAS solved; only its write was severed
+        assert svc.counters.responses == 2
+
+
+# --------------------------------------------------------------------- #
+# cache corruption: quarantine and recovery
+# --------------------------------------------------------------------- #
+class TestCorruptCacheRecovery:
+    def test_corrupt_entry_quarantined_and_recomputed(self, graph, tmp_path):
+        seeds = [0, 9, 90]
+        plan = FaultPlan([FaultAction("corrupt_cache")])
+        first = SolverService(
+            cache=SolveCache(disk_dir=tmp_path, fault_plan=plan), batch_window_s=0
+        )
+        first.add_graph("g", graph)
+        r1 = first.solve("g", seeds)
+        first.close()
+        assert plan.pending() == 0  # the torn write happened
+
+        # a restarted server must survive the corrupt entry: quarantine,
+        # count, recompute — and still answer correctly
+        fresh = SolveCache(disk_dir=tmp_path)
+        second = SolverService(cache=fresh, batch_window_s=0)
+        second.add_graph("g", graph)
+        r2 = second.solve("g", seeds)
+        second.close()
+        assert r2.provenance["cache_hit"] is False
+        assert fresh.stats.corrupt >= 1
+        quarantined = list(tmp_path.glob("*.corrupt"))
+        assert len(quarantined) == 1
+        assert np.array_equal(r1.edges, r2.edges)
+        assert r1.total_distance == r2.total_distance
+
+        # the recompute rewrote a healthy entry: a third restart hits it
+        third = SolverService(cache=SolveCache(disk_dir=tmp_path), batch_window_s=0)
+        third.add_graph("g", graph)
+        r3 = third.solve("g", seeds)
+        third.close()
+        assert r3.provenance["cache_hit"] is True
+        assert np.array_equal(r2.edges, r3.edges)
+
+    def test_direct_quarantine_of_garbage_file(self, tmp_path):
+        cache = SolveCache(disk_dir=tmp_path)
+        key = ("h", frozenset({1, 2}), "fp")
+        path = cache._disk_path(key)
+        path.write_bytes(b"\x80\x04 definitely not a pickle")
+        assert cache.get_solution(key) is None
+        assert cache.stats.corrupt == 1
+        assert not path.exists()
+        assert path.with_suffix(".pkl.corrupt").exists()
+        # quarantined files are never re-read: next lookup is a plain miss
+        assert cache.get_solution(key) is None
+        assert cache.stats.corrupt == 1
