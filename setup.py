@@ -12,6 +12,8 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # PEP 561: the package ships inline type annotations
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.10",
     install_requires=["numpy"],
     extras_require={

@@ -1,0 +1,121 @@
+"""Fingerprint-coverage audit: REP201/REP202/REP203.
+
+``SolveCache`` keys on ``SolverConfig.fingerprint()``.  A config field
+that silently stays out of the fingerprint is a cache-poisoning bug:
+two configs that compute *different* results share a key, and whichever
+lands first serves for both.  The converse — an excluded field that no
+longer exists, or an exclusion without a written justification — makes
+the exclusion list rot back into the hand-maintained state PR-8 had.
+
+This is a *repo rule*: it audits the imported
+:class:`repro.core.config.SolverConfig` against the shared exclusion
+data :data:`repro.core.config.FINGERPRINT_EXCLUSIONS` (the runtime
+skips exactly those keys), so the checker and the runtime can never
+disagree about what is excluded.
+
+* **REP201** — an exclusion names a field that does not exist (stale).
+* **REP202** — a dataclass field is neither present in
+  ``fingerprint_material()`` nor excluded (silently sharding the
+  cache), or is both excluded *and* hashed (inconsistent).
+* **REP203** — an exclusion has no written justification.
+
+Findings are anchored at the field's definition line in
+``src/repro/core/config.py`` when the file is reachable, else line 1.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import inspect
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.engine import Finding, repo_rule
+
+__all__: list[str] = []
+
+
+def _config_anchor_lines() -> tuple[str, dict[str, int]]:
+    """``(path, {field or constant name: line})`` in the config source."""
+    from repro.core import config as config_mod
+
+    try:
+        path = inspect.getsourcefile(config_mod) or "src/repro/core/config.py"
+        source = Path(path).read_text()
+    except OSError:  # pragma: no cover - source unavailable (zipapp)
+        return "src/repro/core/config.py", {}
+    lines: dict[str, int] = {}
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "SolverConfig":
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    lines[stmt.target.id] = stmt.lineno
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if (
+                    isinstance(tgt, ast.Name)
+                    and tgt.id == "FINGERPRINT_EXCLUSIONS"
+                ):
+                    lines[tgt.id] = node.lineno
+    return path, lines
+
+
+@repo_rule(
+    ("REP201", "fingerprint exclusion names a non-existent SolverConfig field"),
+    ("REP202", "SolverConfig field neither fingerprinted nor excluded"),
+    ("REP203", "fingerprint exclusion lacks a written justification"),
+)
+def check_fingerprint_coverage() -> Iterator[Finding]:
+    from repro.core.config import FINGERPRINT_EXCLUSIONS, SolverConfig
+
+    path, anchors = _config_anchor_lines()
+    excl_line = anchors.get("FINGERPRINT_EXCLUSIONS", 1)
+
+    field_names = {f.name for f in dataclasses.fields(SolverConfig)}
+    material = set(SolverConfig().fingerprint_material())
+
+    for name in sorted(set(FINGERPRINT_EXCLUSIONS) - field_names):
+        yield Finding(
+            rule="REP201",
+            path=path,
+            line=excl_line,
+            col=0,
+            message=f"FINGERPRINT_EXCLUSIONS entry {name!r} is not a "
+            f"SolverConfig field (stale exclusion — remove it)",
+        )
+    for name in sorted(field_names - material - set(FINGERPRINT_EXCLUSIONS)):
+        yield Finding(
+            rule="REP202",
+            path=path,
+            line=anchors.get(name, 1),
+            col=0,
+            message=f"SolverConfig.{name} is neither hashed by "
+            f"fingerprint() nor listed in FINGERPRINT_EXCLUSIONS: two "
+            f"configs differing only in it would share a SolveCache key; "
+            f"hash it or exclude it with a justification",
+        )
+    for name in sorted(material & set(FINGERPRINT_EXCLUSIONS)):
+        yield Finding(
+            rule="REP202",
+            path=path,
+            line=anchors.get(name, excl_line),
+            col=0,
+            message=f"SolverConfig.{name} is excluded from the "
+            f"fingerprint yet still present in fingerprint_material() — "
+            f"the runtime and the exclusion data disagree",
+        )
+    for name, reason in sorted(FINGERPRINT_EXCLUSIONS.items()):
+        if not (isinstance(reason, str) and reason.strip()):
+            yield Finding(
+                rule="REP203",
+                path=path,
+                line=excl_line,
+                col=0,
+                message=f"FINGERPRINT_EXCLUSIONS[{name!r}] has no written "
+                f"justification; document why changing it can never "
+                f"change results",
+            )

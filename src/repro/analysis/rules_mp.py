@@ -1,0 +1,53 @@
+"""mp-protocol conformance: REP401 (partial ``bsp-mp`` clone protocol).
+
+The ``bsp-mp`` engine replicates a program into its forked workers via
+four hooks — ``mp_clone_payload`` / ``mp_materialize`` (phase start),
+``mp_collect`` / ``mp_merge`` (quiescence fold-back, doubling as the
+checkpoint format for fault recovery).  The engine gates on *one* probe
+(``hasattr`` over all four), so a class defining a strict subset either
+falls back to in-process execution silently (hooks wasted) or — worse,
+if the probe ever loosens — ships half a protocol: cloning without
+merging loses converged state, collecting without materialising breaks
+checkpoint restore.
+
+**REP401** fires on any class defining some but not all four hooks.
+The hook list is :data:`repro.contracts.MP_PROGRAM_CONTRACT`, the same
+data the engine's probe uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, file_rule
+from repro.contracts import MP_PROGRAM_CONTRACT
+
+__all__: list[str] = []
+
+
+@file_rule(
+    ("REP401", "class defines only part of the bsp-mp clone protocol"),
+)
+def check_mp_protocol(ctx: ModuleContext) -> Iterator[Finding]:
+    hooks = set(MP_PROGRAM_CONTRACT)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        defined = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in hooks
+        }
+        if not defined or defined == hooks:
+            continue
+        missing = sorted(hooks - defined)
+        yield ctx.finding(
+            "REP401",
+            node,
+            f"class {node.name!r} defines {sorted(defined)} but not "
+            f"{missing}: bsp-mp requires all four hooks or none "
+            f"(partial protocols half-work — clone without merge loses "
+            f"converged state)",
+        )

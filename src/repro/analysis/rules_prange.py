@@ -1,0 +1,184 @@
+"""``prange`` race detector: REP301 (non-disjoint array writes) and
+REP302 (reductions onto shared state).
+
+Inside a ``@njit(parallel=True)`` kernel, iterations of a ``prange``
+loop run concurrently.  The only writes that are safe without
+synchronisation are those provably touching disjoint memory per
+iteration.  This detector implements the discipline the repo's own
+kernels follow (``shortest_paths/native.py``):
+
+* parallel gathers write ``arr[j]`` where ``j`` starts from a
+  per-iteration offset (``j = offs[i]``) — disjoint slices;
+* everything order-sensitive (the lexicographic ``(dist, owner)``
+  commit) happens in a *serial* loop after the parallel gather.
+
+The analysis marks a name *iteration-local* when it is the ``prange``
+loop variable, a nested loop target, or assigned inside the loop body
+from an expression built on iteration-local names (so ``j = offs[i]``
+then ``j += 1`` stays local).  Then:
+
+* **REP301** — a subscript store whose index involves *no*
+  iteration-local name writes the same locations from every iteration:
+  a write-write race.
+* **REP302** — an augmented assignment onto a shared scalar (or a
+  shared-array cell indexed without iteration-locals) is a reduction
+  racing against itself.  numba auto-privatises *some* scalar
+  reductions; when you have verified yours is one of them, suppress
+  with a justification — the serial-commit pattern is still preferred
+  because it keeps the commit order (and thus tie-breaking) defined.
+
+Functions compiled with plain ``@njit`` (no ``parallel=True``) are out
+of scope: without parallel semantics there is nothing to race.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, file_rule
+
+__all__: list[str] = []
+
+
+def _is_parallel_njit(fn: ast.FunctionDef) -> bool:
+    """True for ``@njit(parallel=True)`` / ``@numba.njit(parallel=True)``."""
+    for deco in fn.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        name = None
+        if isinstance(deco.func, ast.Name):
+            name = deco.func.id
+        elif isinstance(deco.func, ast.Attribute):
+            name = deco.func.attr
+        if name != "njit":
+            continue
+        for kw in deco.keywords:
+            if (
+                kw.arg == "parallel"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+            ):
+                return True
+    return False
+
+
+def _is_prange_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "prange"
+    return isinstance(func, ast.Attribute) and func.attr == "prange"
+
+
+def _names_in(node: ast.AST) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _iteration_local_names(loop: ast.For) -> set[str]:
+    """Names whose value is private to one ``prange`` iteration."""
+    local = _names_in(loop.target)
+    # nested loop targets are per-iteration too
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if isinstance(node, ast.For):
+            local |= _names_in(node.target)
+    # fixpoint: plain assignments from iteration-local-derived indices
+    # (j = offs[i]; du = dist[u]; ...) extend the local set
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                tgt = node.targets[0]
+                if isinstance(tgt, ast.Name) and tgt.id not in local:
+                    if _names_in(node.value) & local:
+                        local.add(tgt.id)
+                        changed = True
+    return local
+
+
+def _index_names(subscript: ast.Subscript) -> set[str]:
+    return _names_in(subscript.slice)
+
+
+@file_rule(
+    ("REP301", "prange write not indexed by the loop variable or a "
+               "derived disjoint offset"),
+    ("REP302", "prange reduction onto shared state without the "
+               "serial-commit pattern"),
+)
+def check_prange_races(ctx: ModuleContext) -> Iterator[Finding]:
+    for fn in ast.walk(ctx.tree):
+        if not isinstance(fn, ast.FunctionDef) or not _is_parallel_njit(fn):
+            continue
+        for loop in ast.walk(fn):
+            if not isinstance(loop, ast.For) or not _is_prange_call(loop.iter):
+                continue
+            local = _iteration_local_names(loop)
+            # arrays *allocated inside* the loop body are private to the
+            # iteration (numba materialises one per iteration), so any
+            # name rebound by a plain assignment in the body is safe as
+            # a store base even when the index is iteration-independent
+            private_bases = {
+                t.id
+                for n in ast.walk(loop)
+                if isinstance(n, ast.Assign)
+                for t in n.targets
+                if isinstance(t, ast.Name)
+            }
+            for node in ast.walk(loop):
+                if isinstance(node, ast.Assign):
+                    for tgt in node.targets:
+                        if isinstance(tgt, ast.Subscript):
+                            if (
+                                isinstance(tgt.value, ast.Name)
+                                and tgt.value.id in private_bases
+                            ):
+                                continue
+                            finding = _check_store(ctx, tgt, local, node)
+                            if finding is not None:
+                                yield finding
+                elif isinstance(node, ast.AugAssign):
+                    tgt = node.target
+                    if isinstance(tgt, ast.Name) and tgt.id not in local:
+                        yield ctx.finding(
+                            "REP302",
+                            node,
+                            f"reduction onto shared scalar {tgt.id!r} "
+                            f"inside prange: iterations race on it; commit "
+                            f"serially after the parallel gather (or verify "
+                            f"numba privatises this reduction and suppress)",
+                        )
+                    elif isinstance(tgt, ast.Subscript):
+                        if not (_index_names(tgt) & local):
+                            base = ast.unparse(tgt.value)
+                            yield ctx.finding(
+                                "REP302",
+                                node,
+                                f"reduction onto shared array cell "
+                                f"{base}[...] with an iteration-independent "
+                                f"index inside prange: iterations race; use "
+                                f"the serial-commit pattern",
+                            )
+
+
+def _check_store(
+    ctx: ModuleContext,
+    tgt: ast.Subscript,
+    local: set[str],
+    node: ast.AST,
+) -> Finding | None:
+    if _index_names(tgt) & local:
+        return None  # indexed by the loop variable or a derived offset
+    base = ast.unparse(tgt.value)
+    return ctx.finding(
+        "REP301",
+        node,
+        f"write to {base}[...] whose index involves no prange-iteration-"
+        f"local name: every iteration hits the same locations (write-"
+        f"write race); index by the loop variable or a per-iteration "
+        f"offset (e.g. j = offs[i])",
+    )

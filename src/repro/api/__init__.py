@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import replace as _dc_replace
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.api import schema
 from repro.api.schema import SCHEMA_VERSION
@@ -47,6 +47,10 @@ from repro.core.result import SteinerTreeResult
 from repro.core.sequential import sequential_steiner_tree
 from repro.core.solver import DistributedSteinerSolver
 from repro.native import native_status
+
+if TYPE_CHECKING:
+    from repro.graph.csr import CSRGraph
+    from repro.serve.cache import SolveCache
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -60,7 +64,7 @@ __all__ = [
 ]
 
 
-def _as_graph(graph):
+def _as_graph(graph: "CSRGraph | str") -> "CSRGraph":
     """Accept a :class:`~repro.graph.csr.CSRGraph` or a Table-III
     dataset name (``"LVJ"``, ``"MCO"``, ...)."""
     if isinstance(graph, str):
@@ -94,11 +98,11 @@ def _apply_overrides(config: SolverConfig, overrides: dict[str, Any]) -> SolverC
 
 
 def solve(
-    graph,
+    graph: "CSRGraph | str",
     seeds: Sequence[int],
     *,
     config: SolverConfig | None = None,
-    cache=None,
+    cache: "SolveCache | None" = None,
     **config_kwargs: Any,
 ) -> SteinerTreeResult:
     """Compute a 2-approximate Steiner minimal tree — the one documented
@@ -162,10 +166,10 @@ class Session:
 
     def __init__(
         self,
-        graph,
+        graph: "CSRGraph | str",
         *,
         config: SolverConfig | None = None,
-        cache=None,
+        cache: "SolveCache | None" = None,
         **config_kwargs: Any,
     ) -> None:
         if config is not None and config_kwargs:
@@ -180,7 +184,7 @@ class Session:
             else SolverConfig.from_kwargs(**config_kwargs)
         )
         self.cache = cache
-        self._solvers: dict[tuple, DistributedSteinerSolver] = {}
+        self._solvers: dict[tuple[Any, ...], DistributedSteinerSolver] = {}
         self._closed = False
 
     # ------------------------------------------------------------------ #
@@ -235,7 +239,7 @@ class Session:
             raise RuntimeError("Session is closed")
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -66,7 +66,10 @@ from __future__ import annotations
 import json
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:
+    from repro.core.result import SteinerTreeResult
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -255,7 +258,7 @@ def parse_request(payload: Mapping[str, Any]) -> SolveRequest:
 # --------------------------------------------------------------------- #
 # results and responses
 # --------------------------------------------------------------------- #
-def result_payload(result) -> dict[str, Any]:
+def result_payload(result: SteinerTreeResult) -> dict[str, Any]:
     """The canonical JSON-safe dict form of a
     :class:`~repro.core.result.SteinerTreeResult`."""
     payload: dict[str, Any] = {
@@ -309,7 +312,9 @@ def upgrade_result_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
     return data
 
 
-def response_payload(request_id: str, result=None, **extra: Any) -> dict[str, Any]:
+def response_payload(
+    request_id: str, result: SteinerTreeResult | None = None, **extra: Any
+) -> dict[str, Any]:
     """A success envelope; ``result`` may be a
     :class:`~repro.core.result.SteinerTreeResult` (serialised via
     :func:`result_payload`) or an already-JSON-safe object (``stats``,

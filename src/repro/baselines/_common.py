@@ -34,7 +34,7 @@ def prune_steiner_leaves(
 
     Removing a leaf can expose a new one, so this loops to a fixpoint.
     """
-    seed_set = set(int(s) for s in seeds)
+    seed_set = {int(s) for s in seeds}
     current = list(edges)
     while True:
         deg: dict[int, int] = {}

@@ -70,7 +70,7 @@ def kmb_steiner_tree(graph: CSRGraph, seeds: Sequence[int]) -> SteinerTreeResult
     )
 
     # Step 3: expand each G2 edge into its shortest path in G
-    vertices: set[int] = set(int(s) for s in seeds_arr)
+    vertices: set[int] = {int(s) for s in seeds_arr}
     for e in mst_idx:
         i, j = pair_s[e], pair_t[e]
         path = reconstruct_path(preds[i], int(seeds_arr[i]), int(seeds_arr[j]))

@@ -64,7 +64,7 @@ def mehlhorn_steiner_tree(
 
     # expand each MST edge (s, t) through its bridge (u, v):
     # path(u -> s) + (u, v) + path(v -> t), via Voronoi predecessors
-    vertices: set[int] = set(int(s) for s in seeds_arr)
+    vertices: set[int] = {int(s) for s in seeds_arr}
     for e in mst_idx:
         for endpoint in (int(dg.u[e]), int(dg.v[e])):
             vertices.update(vd.path_to_seed(endpoint))

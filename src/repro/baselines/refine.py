@@ -56,13 +56,13 @@ def _insertion_pass(
     """One pass of Steiner-vertex insertion local search."""
     current = rows
     weight = _tree_weight(current)
-    tree_vertices = set(int(s) for s in seeds)
+    tree_vertices = {int(s) for s in seeds}
     for u, v, _ in current:
         tree_vertices.add(u)
         tree_vertices.add(v)
     # candidates: neighbours of the tree, sampled
     neigh: set[int] = set()
-    for v in tree_vertices:
+    for v in sorted(tree_vertices):
         neigh.update(int(x) for x in graph.neighbors(v))
     neigh -= tree_vertices
     candidates = sorted(neigh)
@@ -76,7 +76,7 @@ def _insertion_pass(
         tw = _tree_weight(trial)
         if tw < weight:
             current, weight = trial, tw
-            tree_vertices = set(int(s) for s in seeds)
+            tree_vertices = {int(s) for s in seeds}
             for u, v, _ in current:
                 tree_vertices.add(u)
                 tree_vertices.add(v)

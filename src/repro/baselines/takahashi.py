@@ -42,7 +42,7 @@ def takahashi_steiner_tree(
     """
     t0 = time.perf_counter()
     seeds_arr = validate_seed_set(graph, seeds)
-    seed_set = set(int(s) for s in seeds_arr)
+    seed_set = {int(s) for s in seeds_arr}
     if start is None:
         start = int(seeds_arr[0])
     if start not in seed_set:

@@ -59,7 +59,7 @@ def www_steiner_tree(graph: CSRGraph, seeds: Sequence[int]) -> SteinerTreeResult
 
     # Kruskal over terminal components, committing meeting points
     uf = UnionFind(k)
-    vertices: set[int] = set(int(s) for s in seeds_arr)
+    vertices: set[int] = {int(s) for s in seeds_arr}
     accepted = 0
     for idx in order:
         u, v = int(eu[idx]), int(ev[idx])

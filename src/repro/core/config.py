@@ -11,7 +11,7 @@ from typing import Any, Optional
 from repro.runtime.cost_model import MachineModel
 from repro.runtime.queues import QueueDiscipline
 
-__all__ = ["SolverConfig", "CONFIG_FIELD_ALIASES"]
+__all__ = ["SolverConfig", "CONFIG_FIELD_ALIASES", "FINGERPRINT_EXCLUSIONS"]
 
 #: deprecated kwarg spelling -> canonical :class:`SolverConfig` field.
 #: These are the historical CLI-flag names that drifted from the config
@@ -22,6 +22,29 @@ CONFIG_FIELD_ALIASES = {
     "queue": "discipline",
     "backend": "voronoi_backend",
     "num_workers": "workers",
+}
+
+#: The documented exclusion set of :meth:`SolverConfig.fingerprint` —
+#: ``{field name: why excluding it is sound}``.  This is *data shared by
+#: the runtime and the static checker*: ``fingerprint()`` skips exactly
+#: these fields, the ``repro-steiner check`` fingerprint-coverage audit
+#: (rules REP201-REP203, :mod:`repro.analysis.rules_fingerprint`) fails
+#: if any :class:`SolverConfig` field is neither hashed nor listed here
+#: with a reason, and ``tests/test_api.py`` pins the two views equal.
+#: A field belongs here iff changing it can never change a correct
+#: run's *results* — only how they are computed.
+FINGERPRINT_EXCLUSIONS: dict[str, str] = {
+    "bsp": "derived mirror of `engine` (set in __post_init__); the "
+    "engine field itself is fingerprinted",
+    "checkpoint_interval": "checkpoint cadence steers recovery cost "
+    "only; recovery preserves parity (docs/robustness.md)",
+    "max_restarts": "restart budget changes when WorkerCrashError "
+    "escalates, never a successful run's results",
+    "worker_timeout_s": "hang-detection heartbeat; recovery preserves "
+    "parity, so results are identical at any timeout",
+    "fault_plan": "injected faults are recovered bit-identically (the "
+    "recovery-preserves-parity contract), so a plan never changes a "
+    "correct run's output",
 }
 
 
@@ -216,35 +239,20 @@ class SolverConfig:
         return cls(**resolved)
 
     # ------------------------------------------------------------------ #
-    def fingerprint(self) -> str:
-        """Stable short hash over every behaviour-affecting field.
+    def fingerprint_material(self) -> dict[str, Any]:
+        """The exact ``{field: canonical value}`` dict the fingerprint
+        hashes — every dataclass field except the documented
+        :data:`FINGERPRINT_EXCLUSIONS`.
 
-        This is the ``config_fingerprint`` component of the serve/cache
-        key ``(graph_hash, frozenset(seeds), config_fingerprint)``: two
-        configurations share a fingerprint iff a cached result computed
-        under one is valid for the other.  Every dataclass field except
-        the derived ``bsp`` mirror and the fault-tolerance knobs
-        participates — checkpointing cadence, restart budgets, heartbeat
-        timeouts and injected fault plans never change a correct run's
-        results (the recovery-preserves-parity contract,
-        ``docs/robustness.md``), so results cached under one setting are
-        valid under any other.  The machine model is flattened into its
-        constants, values are canonicalised (enum -> value) and
-        serialised with sorted keys, so the digest is independent of
-        field ordering and of dict-insertion order.
+        Exposed separately so the fingerprint-coverage audit (REP202)
+        and the regression tests can verify *what* is hashed without
+        reversing the digest: a new ``SolverConfig`` field is covered
+        automatically, and can only leave the material by being added to
+        the exclusion dict with a written justification.
         """
         material: dict[str, Any] = {}
-        # bsp is derived from engine in __post_init__; the fault knobs
-        # steer *how* a result is computed, never *what* it is
-        skip = {
-            "bsp",
-            "checkpoint_interval",
-            "max_restarts",
-            "worker_timeout_s",
-            "fault_plan",
-        }
         for f in fields(self):
-            if f.name in skip:
+            if f.name in FINGERPRINT_EXCLUSIONS:
                 continue
             value = getattr(self, f.name)
             if f.name == "machine":
@@ -254,5 +262,23 @@ class SolverConfig:
             elif isinstance(value, QueueDiscipline):
                 value = value.value
             material[f.name] = value
-        blob = json.dumps(material, sort_keys=True, default=str)
+        return material
+
+    def fingerprint(self) -> str:
+        """Stable short hash over every behaviour-affecting field.
+
+        This is the ``config_fingerprint`` component of the serve/cache
+        key ``(graph_hash, frozenset(seeds), config_fingerprint)``: two
+        configurations share a fingerprint iff a cached result computed
+        under one is valid for the other.  Every dataclass field except
+        the documented :data:`FINGERPRINT_EXCLUSIONS` participates — the
+        derived ``bsp`` mirror and the fault-tolerance knobs never
+        change a correct run's results (the recovery-preserves-parity
+        contract, ``docs/robustness.md``), so results cached under one
+        setting are valid under any other.  The machine model is
+        flattened into its constants, values are canonicalised (enum ->
+        value) and serialised with sorted keys, so the digest is
+        independent of field ordering and of dict-insertion order.
+        """
+        blob = json.dumps(self.fingerprint_material(), sort_keys=True, default=str)
         return hashlib.sha256(blob.encode()).hexdigest()[:16]

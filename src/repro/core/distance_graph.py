@@ -30,8 +30,12 @@ the paper's second ``Allreduce(MPI_MIN)`` over source-vertex ids.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.graph.csr import CSRGraph
 
 from repro.runtime.cost_model import MachineModel
 from repro.runtime.partition import PartitionedGraph
@@ -72,7 +76,7 @@ class DistanceGraph:
 
 
 def build_distance_graph(
-    graph,
+    graph: "CSRGraph",
     seeds: np.ndarray,
     src: np.ndarray,
     dist: np.ndarray,

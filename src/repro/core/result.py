@@ -104,7 +104,7 @@ class SteinerTreeResult:
         """Total messages over all phases (Fig. 6 sums the async ones)."""
         return int(sum(p.n_messages for p in self.phases))
 
-    def to_networkx(self):
+    def to_networkx(self) -> Any:
         """Tree as a :class:`networkx.Graph` (weights under ``weight``)."""
         import networkx as nx
 
@@ -126,7 +126,7 @@ class SteinerTreeResult:
         ``ValueError`` if they are in different components (cannot
         happen for a valid result, kept as a guard).
         """
-        verts = set(int(v) for v in self.vertices())
+        verts = {int(v) for v in self.vertices()}
         if int(a) not in verts or int(b) not in verts:
             missing = [v for v in (int(a), int(b)) if v not in verts]
             raise KeyError(f"vertex/vertices not in tree: {missing}")

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import time
 import warnings
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from repro.graph.csr import CSRGraph
 
 import numpy as np
 
@@ -42,7 +45,7 @@ _BACKEND_ALIASES = {"heap": "dijkstra"}
 
 
 def steiner_tree_from_diagram(
-    graph,
+    graph: "CSRGraph",
     seeds_arr: np.ndarray,
     src: np.ndarray,
     pred: np.ndarray,
@@ -103,7 +106,7 @@ def steiner_tree_from_diagram(
 
 
 def sequential_steiner_tree(
-    graph,
+    graph: "CSRGraph",
     seeds: Sequence[int],
     *,
     voronoi_backend: str | None = None,

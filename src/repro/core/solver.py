@@ -31,7 +31,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:
+    from repro.graph.csr import CSRGraph
+    from repro.serve.cache import SolveCache
 
 import numpy as np
 
@@ -93,11 +97,11 @@ class DistributedSteinerSolver:
 
     def __init__(
         self,
-        graph,
+        graph: "CSRGraph",
         config: SolverConfig | None = None,
         *,
-        cache=None,
-        **config_kwargs,
+        cache: "SolveCache | None" = None,
+        **config_kwargs: Any,
     ) -> None:
         if config is not None and config_kwargs:
             raise TypeError(
@@ -437,12 +441,12 @@ class DistributedSteinerSolver:
 
 
 def distributed_steiner_tree(
-    graph,
+    graph: "CSRGraph",
     seeds: Sequence[int],
     *,
     config: SolverConfig | None = None,
-    cache=None,
-    **config_kwargs,
+    cache: "SolveCache | None" = None,
+    **config_kwargs: Any,
 ) -> SteinerTreeResult:
     """One-shot convenience wrapper around
     :class:`DistributedSteinerSolver`.

@@ -18,7 +18,7 @@ CSR row.
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Tuple
 
 import numpy as np
 
@@ -51,7 +51,9 @@ class TreeEdgeProgram:
         self.collected = np.zeros(partition.graph.n_vertices, dtype=bool)
         self.edges: list[tuple[int, int, int]] = []
 
-    def initial_messages(self, endpoints: np.ndarray):
+    def initial_messages(
+        self, endpoints: np.ndarray
+    ) -> Iterator[tuple[int, Tuple]]:
         """One visitor per active cross-cell edge endpoint (Alg. 6
         lines 5-6)."""
         for v in endpoints:
@@ -78,7 +80,9 @@ class TreeEdgeProgram:
         if p != self.src[vertex]:
             emit(p, (p,))
 
-    def visit_rank(self, rank: int, payload: Tuple, emit) -> None:
+    def visit_rank(
+        self, rank: int, payload: Tuple, emit: Callable[[int, Tuple], None]
+    ) -> None:
         """Unused: tree-edge walks are vertex-addressed only."""
         raise AssertionError("tree-edge walks never address ranks")
 
@@ -91,7 +95,9 @@ class TreeEdgeProgram:
         """Payload as an int row: the walked vertex itself."""
         return payload
 
-    def batch_visit(self, targets, payload, emitter) -> None:
+    def batch_visit(
+        self, targets: np.ndarray, payload: np.ndarray, emitter: Any
+    ) -> None:
         """One superstep of predecessor hops over message arrays.
 
         Duplicate arrivals at a vertex within a superstep collapse to
@@ -120,7 +126,9 @@ class TreeEdgeProgram:
                 out.reshape(-1, 1),
             )
 
-    def batch_visit_rank(self, ranks, payload, emitter) -> None:
+    def batch_visit_rank(
+        self, ranks: np.ndarray, payload: np.ndarray, emitter: Any
+    ) -> None:
         """Unused: tree-edge walks are vertex-addressed only."""
         raise AssertionError("tree-edge walks never address ranks")
 
@@ -140,7 +148,9 @@ class TreeEdgeProgram:
         }
 
     @classmethod
-    def mp_materialize(cls, partition, payload: dict) -> "TreeEdgeProgram":
+    def mp_materialize(
+        cls, partition: PartitionedGraph, payload: dict
+    ) -> "TreeEdgeProgram":
         prog = cls(partition, payload["src"], payload["pred"], payload["dist"])
         prog.collected[payload["collected"]] = True
         return prog
@@ -182,3 +192,11 @@ def walk_tree_edges(
         if p != src[v]:
             stack.append(p)
     return edges
+
+
+if TYPE_CHECKING:
+    from repro.contracts import MPCloneable
+
+    # mypy verifies the all-or-none mp-clone protocol statically; the
+    # REP401 checker rule is the review-time twin of this assignment.
+    _MP_CONFORMANCE: type[MPCloneable] = TreeEdgeProgram

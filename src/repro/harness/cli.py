@@ -34,6 +34,14 @@ Subcommands
     ``unavailable``, plus the import-failure reason for the optional
     tiers); with ``--bench``, time each one on the chosen instance and
     verify they agree bit-for-bit.
+``check [PATHS...] [--format text|json] [--show-suppressed]
+[--files-only] [--list-rules]``
+    Run the repo-invariant static-analysis pass (``docs/analysis.md``):
+    determinism lint, fingerprint-coverage audit, ``prange`` race
+    detector, mp-protocol and registry-contract conformance.  Exits 0
+    iff every finding is fixed or carries a justified
+    ``# repro: ignore[REPxxx]`` suppression — the pre-PR gate CI runs
+    as the blocking ``check`` job.
 ``engines [--bench] [--dataset LVJ] [--seeds 30] [--ranks 16]
 [--workers N]``
     List the registered runtime engines with their availability (same
@@ -313,6 +321,21 @@ def _cmd_engines(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.analysis import rule_catalogue, run_check
+
+    if args.list_rules:
+        for rule_id, text in rule_catalogue().items():
+            print(f"{rule_id}  {text}")
+        return 0
+    report = run_check(args.paths, repo_rules=not args.files_only)
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render(show_suppressed=args.show_suppressed))
+    return report.exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro-steiner`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -455,6 +478,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_back.add_argument("--seeds", type=int, default=30)
     p_back.add_argument("--seed", type=int, default=1, help="RNG seed")
     p_back.set_defaults(func=_cmd_backends)
+
+    p_check = sub.add_parser(
+        "check", help="run the repo-invariant static-analysis pass"
+    )
+    p_check.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks", "tests"],
+        metavar="PATH",
+        help="files/directories to check (default: src benchmarks tests)",
+    )
+    p_check.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format (json is the CI artifact form)",
+    )
+    p_check.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings silenced by # repro: ignore[...]",
+    )
+    p_check.add_argument(
+        "--files-only", action="store_true",
+        help="skip the repo rules (registry/fingerprint audits that "
+        "import the live package); file rules only",
+    )
+    p_check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_eng = sub.add_parser(
         "engines", help="list/bench the runtime engines"

@@ -46,7 +46,7 @@ def run(
 
     for paper_k in paper_seeds:
         k = SEED_COUNTS[paper_k]
-        headers = ["dataset", "ranks"] + [p for p in PHASE_NAMES] + [
+        headers = ["dataset", "ranks"] + list(PHASE_NAMES) + [
             "total",
             "speedup",
             "efficiency",

@@ -25,7 +25,7 @@ _PAPER_SEEDS = (10, 100, 1000)
 def tree_to_dot(result, name: str) -> str:
     """Graphviz DOT with the paper's colour scheme (seeds red, Steiner
     vertices blue)."""
-    seed_set = set(int(s) for s in result.seeds)
+    seed_set = {int(s) for s in result.seeds}
     lines = [f"graph {name} {{", "  node [style=filled];"]
     for v in result.vertices():
         colour = "red" if int(v) in seed_set else "lightblue"

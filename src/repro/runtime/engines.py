@@ -80,7 +80,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -90,6 +90,9 @@ from repro.runtime.engine_batched import BSPBatchedEngine
 from repro.runtime.engine_mp import BSPMultiprocessEngine
 from repro.runtime.partition import PartitionedGraph
 from repro.runtime.queues import QueueDiscipline
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan
 
 __all__ = [
     "DEFAULT_ENGINE",
@@ -268,7 +271,7 @@ def make_engine(
     checkpoint_interval: Optional[int] = None,
     max_restarts: Optional[int] = None,
     worker_timeout_s: Optional[float] = None,
-    fault_plan=None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> EngineBase:
     """Instantiate the named engine over a partitioned graph.
 
@@ -299,7 +302,7 @@ def make_engine(
 def run_phase_with(
     engine_name: str,
     partition: PartitionedGraph,
-    program,
+    program: Any,
     initial_messages: Iterable[Tuple[int, Tuple]],
     *,
     machine: MachineModel | None = None,
@@ -403,7 +406,7 @@ def _async_heap_factory(
     checkpoint_interval: Optional[int] = None,
     max_restarts: Optional[int] = None,
     worker_timeout_s: Optional[float] = None,
-    fault_plan=None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> AsyncEngine:
     return AsyncEngine(
         partition, machine, discipline, aggregate_remote=aggregate_remote
@@ -423,7 +426,7 @@ def _bsp_factory(
     checkpoint_interval: Optional[int] = None,
     max_restarts: Optional[int] = None,
     worker_timeout_s: Optional[float] = None,
-    fault_plan=None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> BSPEngine:
     # aggregation is an async-runtime knob; BSP already models bulk
     # per-superstep delivery, so the flag is accepted and ignored —
@@ -445,7 +448,7 @@ def _bsp_batched_factory(
     checkpoint_interval: Optional[int] = None,
     max_restarts: Optional[int] = None,
     worker_timeout_s: Optional[float] = None,
-    fault_plan=None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> BSPBatchedEngine:
     return BSPBatchedEngine(partition, machine, discipline)
 
@@ -464,7 +467,7 @@ def _bsp_mp_factory(
     checkpoint_interval: Optional[int] = None,
     max_restarts: Optional[int] = None,
     worker_timeout_s: Optional[float] = None,
-    fault_plan=None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> BSPMultiprocessEngine:
     return BSPMultiprocessEngine(
         partition,
@@ -506,11 +509,28 @@ def _register_bsp_native() -> None:
         checkpoint_interval: Optional[int] = None,
         max_restarts: Optional[int] = None,
         worker_timeout_s: Optional[float] = None,
-        fault_plan=None,
-    ):
+        fault_plan: "FaultPlan | None" = None,
+    ) -> EngineBase:
         from repro.runtime.engine_native import BSPNativeEngine
 
         return BSPNativeEngine(partition, machine, discipline)
 
 
 _register_bsp_native()
+
+
+if TYPE_CHECKING:
+    from repro.contracts import RuntimeEngine
+    from repro.runtime.engine_native import BSPNativeEngine
+
+    # mypy structurally verifies every built-in engine class against the
+    # registry contract (repro.contracts.RuntimeEngine); dropping or
+    # renaming a contract member fails type-checking on this line.  The
+    # REP501 checker rule is the runtime twin of this assignment.
+    _ENGINE_CONFORMANCE: tuple[type[RuntimeEngine], ...] = (
+        AsyncEngine,
+        BSPEngine,
+        BSPBatchedEngine,
+        BSPMultiprocessEngine,
+        BSPNativeEngine,
+    )

@@ -45,7 +45,12 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Hashable, Optional
+from typing import TYPE_CHECKING, Any, Hashable, Iterable, Optional
+
+if TYPE_CHECKING:
+    from repro.core.config import SolverConfig
+    from repro.faults import FaultPlan
+    from repro.graph.csr import CSRGraph
 
 from repro.core.result import SteinerTreeResult
 from repro.shortest_paths.voronoi import VoronoiDiagram
@@ -53,7 +58,9 @@ from repro.shortest_paths.voronoi import VoronoiDiagram
 __all__ = ["CacheStats", "SolveCache", "solution_key"]
 
 
-def solution_key(graph, seeds, config) -> tuple:
+def solution_key(
+    graph: "CSRGraph", seeds: Iterable[int], config: "SolverConfig"
+) -> tuple[str, frozenset[int], str]:
     """Build the canonical cache key ``(graph_hash, frozenset(seeds),
     config_fingerprint)`` from live objects."""
     return (
@@ -145,7 +152,7 @@ class SolveCache:
         max_diagrams: int = 32,
         disk_dir: str | Path | None = None,
         *,
-        fault_plan=None,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         if max_solutions < 1 or max_diagrams < 1:
             raise ValueError("cache capacities must be >= 1")

@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:
+    from repro.serve.service import _Pending
 
 from repro.api.schema import (
     SchemaError,
@@ -175,7 +178,7 @@ class ProtocolHandler:
         return True
 
     # ------------------------------------------------------------------ #
-    def _completed(self, pending) -> None:
+    def _completed(self, pending: "_Pending") -> None:
         self._inflight = [p for p in self._inflight if p is not pending]
         if pending.error is not None:
             self.send(error_payload(pending.request.id, pending.error))

@@ -130,7 +130,7 @@ class _Server(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address, service: SolverService) -> None:
+    def __init__(self, address: tuple[str, int], service: SolverService) -> None:
         super().__init__(address, _Handler)
         self.service = service
 

@@ -41,7 +41,7 @@ import threading
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 from repro.api import Session, _apply_overrides
 from repro.api.schema import SolveRequest, parse_request
@@ -51,6 +51,11 @@ from repro.errors import WorkerCrashError
 from repro.faults import env_plan
 from repro.serve.batch import fused_multisource
 from repro.serve.cache import SolveCache
+
+if TYPE_CHECKING:
+    from repro.core.solver import DistributedSteinerSolver
+    from repro.graph.csr import CSRGraph
+    from repro.shortest_paths.voronoi import VoronoiDiagram
 
 __all__ = [
     "QueueFull",
@@ -299,7 +304,7 @@ class SolverService:
     # ------------------------------------------------------------------ #
     # graph store
     # ------------------------------------------------------------------ #
-    def add_graph(self, name: str, graph) -> None:
+    def add_graph(self, name: str, graph: "CSRGraph") -> None:
         """Register an in-memory graph under ``name`` (tests, benches,
         embedding applications)."""
         with self._cv:
@@ -307,7 +312,7 @@ class SolverService:
                 graph, config=self.config, cache=self.cache
             )
 
-    def open_graph(self, name: str):
+    def open_graph(self, name: str) -> "CSRGraph":
         """Load (once) and return the graph behind ``name``."""
         session = self._session_for(name)
         return session.graph
@@ -491,7 +496,7 @@ class SolverService:
     def __enter__(self) -> "SolverService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------ #
@@ -632,7 +637,12 @@ class SolverService:
                     p, result=replace(result, provenance=provenance)
                 )
 
-    def _solve_with_retry(self, solver, seeds, diagram):
+    def _solve_with_retry(
+        self,
+        solver: "DistributedSteinerSolver",
+        seeds: Sequence[int],
+        diagram: "VoronoiDiagram | None",
+    ) -> SteinerTreeResult:
         """One solve, retrying *transient* failures only.
 
         :class:`~repro.errors.WorkerCrashError` means the ``bsp-mp``

@@ -47,7 +47,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
@@ -243,7 +243,7 @@ def compute_multisource(
     seeds: Sequence[int],
     *,
     backend: str = DEFAULT_BACKEND,
-    **options,
+    **options: Any,
 ) -> MultiSourceResult:
     """Run the multi-source sweep under the chosen backend.
 
@@ -390,3 +390,12 @@ else:  # pragma: no cover - exercised only without SciPy
         "(int64-exact fallback for astronomical weights)",
         _SCIPY_IMPORT_ERROR or "ImportError: scipy",
     )
+
+
+if TYPE_CHECKING:
+    from repro.contracts import DiagramLike
+
+    # mypy structurally verifies the diagram type against the registry
+    # contract (repro.contracts.DiagramLike); the REP502 checker rule is
+    # the runtime twin of this assignment.
+    _DIAGRAM_CONFORMANCE: type[DiagramLike] = VoronoiDiagram

@@ -69,8 +69,9 @@ def dijkstra_to_targets(
     seeds cluster.
     """
     n = graph.n_vertices
-    target_set = set(int(t) for t in targets)
-    for t in target_set:
+    target_set = {int(t) for t in targets}
+    # sorted so the failing target (and thus the error) is deterministic
+    for t in sorted(target_set):
         if not (0 <= t < n):
             raise GraphError(f"target {t} out of range")
     remaining = set(target_set)

@@ -54,9 +54,20 @@ __all__ = ["compute_voronoi_cells_delta_numba"]
 
 @njit(parallel=True)
 def _wave(
-    indptr, indices, weights, frontier, flen, want_light, delta,
-    dist, src, pending, plist, plen, offs,
-):
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    frontier: np.ndarray,
+    flen: int,
+    want_light: bool,
+    delta: int,
+    dist: np.ndarray,
+    src: np.ndarray,
+    pending: np.ndarray,
+    plist: np.ndarray,
+    plen: int,
+    offs: np.ndarray,
+) -> int:
     """One relaxation wave: fused gather + relax + lexicographic commit.
 
     Gathers every out-arc candidate of ``frontier[:flen]`` into flat
@@ -109,7 +120,16 @@ def _wave(
 
 
 @njit
-def _sweep(indptr, indices, weights, seeds, delta, dist, src, inf):
+def _sweep(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    weights: np.ndarray,
+    seeds: np.ndarray,
+    delta: int,
+    dist: np.ndarray,
+    src: np.ndarray,
+    inf: int,
+) -> None:
     """Fused multi-source Δ-stepping to quiescence (in-place).
 
     The Meyer–Sanders bucket loop, exactly as ``delta-numpy`` schedules

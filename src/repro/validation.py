@@ -98,7 +98,7 @@ def validate_steiner_tree(
         for u, v, _ in edges:
             deg[int(u)] = deg.get(int(u), 0) + 1
             deg[int(v)] = deg.get(int(v), 0) + 1
-        seed_set = set(int(s) for s in seeds_arr)
+        seed_set = {int(s) for s in seeds_arr}
         for v, d in deg.items():
             if d == 1 and v not in seed_set:
                 raise ValidationError(f"Steiner vertex {v} is a leaf")
@@ -139,7 +139,7 @@ def validate_voronoi_diagram(graph: CSRGraph, vd: VoronoiDiagram) -> None:
     if half.any():
         raise ValidationError("reached vertex adjacent to unreached vertex")
 
-    seed_set = set(int(s) for s in vd.seeds)
+    seed_set = {int(s) for s in vd.seeds}
     reached = np.nonzero(src != NO_VERTEX)[0]
     for v in reached:
         v = int(v)

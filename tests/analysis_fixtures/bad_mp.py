@@ -1,0 +1,31 @@
+# Known-bad fixture for REP401 (partial mp-clone protocol).
+# Line numbers are asserted by tests/test_analysis.py — append only.
+
+
+class PartialProgram:  # REP401 line 5: clone_payload/materialize, no collect/merge
+    def mp_clone_payload(self):
+        return {}
+
+    @classmethod
+    def mp_materialize(cls, payload):
+        return cls()
+
+
+class CompleteProgram:  # ok: all four hooks
+    def mp_clone_payload(self):
+        return {}
+
+    @classmethod
+    def mp_materialize(cls, payload):
+        return cls()
+
+    def mp_collect(self):
+        return {}
+
+    def mp_merge(self, parts):
+        return None
+
+
+class NotAProgram:  # ok: no hooks at all
+    def run(self):
+        return None

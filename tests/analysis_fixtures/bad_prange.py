@@ -1,0 +1,29 @@
+# Known-bad fixture for REP301/REP302 (prange data races).
+# Line numbers are asserted by tests/test_analysis.py — append only.
+import numpy as np
+from numba import njit, prange
+
+
+@njit(parallel=True, cache=True)
+def races(out, shared, offs, vals):
+    total = 0.0
+    for i in prange(out.shape[0]):
+        out[i] = vals[i] * 2.0  # ok: indexed by loop var
+        j = offs[i]
+        out[j] = vals[i]  # ok: j derived from i (disjoint slices)
+        shared[0] = vals[i]  # REP301 line 14: iteration-independent store
+        total += vals[i]  # REP302 line 15: shared scalar reduction
+        shared[1] += vals[i]  # REP302 line 16: shared cell reduction
+        scratch = np.zeros(4)
+        scratch[0] = vals[i]  # ok: scratch is iteration-private
+    return total
+
+
+@njit(cache=True)
+def serial_kernel(out, vals):
+    # not parallel=True: REP3xx rules do not apply here
+    acc = 0.0
+    for i in range(out.shape[0]):
+        acc += vals[i]
+        out[0] = acc
+    return acc

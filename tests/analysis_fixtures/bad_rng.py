@@ -1,0 +1,17 @@
+# Known-bad fixture for REP101 (unseeded / global-state RNG).
+# Line numbers are asserted by tests/test_analysis.py — append only.
+import random
+
+import numpy as np
+from random import shuffle
+
+rng_ok = np.random.default_rng(42)  # ok: explicit seed
+gen_ok = np.random.Generator(np.random.PCG64(7))  # ok: seeded bit generator
+local_ok = random.Random(13)  # ok: seeded local instance
+
+bad_default = np.random.default_rng()  # REP101 line 12
+bad_none = np.random.default_rng(None)  # REP101 line 13
+bad_global_np = np.random.rand(3)  # REP101 line 14
+bad_global_py = random.random()  # REP101 line 15
+bad_imported = shuffle([1, 2, 3])  # REP101 line 16
+bad_ctor = random.Random()  # REP101 line 17

@@ -1,0 +1,34 @@
+# Known-bad fixture for REP102 (unordered-set iteration).
+# Line numbers are asserted by tests/test_analysis.py — append only.
+items = {3, 1, 2}
+
+
+def collect():
+    out = []
+    for x in items:  # REP102 line 8 (module-level set-typed name)
+        out.append(x)
+    for y in sorted(items):  # ok: sorted
+        out.append(y)
+    for z in {"a", "b"}:  # REP102 line 12 (set literal)
+        out.append(z)
+    return out
+
+
+def comprehensions(edges):
+    local = set(edges)
+    bad_list = [e for e in local]  # REP102 line 19
+    ok_total = sum(w for w in local)  # ok: order-insensitive sink
+    ok_sorted = sorted(e for e in local)  # ok: sorted sink
+    ok_set = {e for e in local}  # ok: set result
+    bad_ctor = list(local)  # REP102 line 23
+    ok_len = len(local)
+    acc = set()
+    acc.update(e for e in local)  # ok: set.update sink
+    return bad_list, ok_total, ok_sorted, ok_set, bad_ctor, ok_len, acc
+
+
+def rebound_is_not_a_set(edges):
+    maybe = set(edges)
+    maybe = [1, 2]  # rebinding disqualifies the name
+    for m in maybe:  # ok: not provably a set
+        yield m

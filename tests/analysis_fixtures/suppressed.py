@@ -1,0 +1,8 @@
+# Fixture for suppression handling.
+# Line numbers are asserted by tests/test_analysis.py — append only.
+import numpy as np
+
+quiet = np.random.default_rng()  # repro: ignore[REP101]
+loud = np.random.default_rng()  # REP101 line 6: no suppression
+wrong_rule = np.random.default_rng()  # repro: ignore[REP999]
+multi = np.random.default_rng()  # repro: ignore[REP101, REP103]

@@ -106,7 +106,7 @@ class TestExactSolver:
         from repro.mst.union_find import UnionFind
 
         n = graph.n_vertices
-        seed_set = set(int(s) for s in seeds)
+        seed_set = {int(s) for s in seeds}
         others = [v for v in range(n) if v not in seed_set]
         best = None
         for r in range(len(others) + 1):
