@@ -40,7 +40,18 @@ the floor there is correspondingly lower).  The multiprocess ``bsp-mp``
 engine is gated the same way against its own baseline entry and the
 ``--min-speedup-mp`` absolute floor (the CI job uses 1.5x at the
 default 2-worker pool) — its counters must additionally match ``bsp``
-exactly, which is asserted before any timing is recorded.
+exactly, which is asserted before any timing is recorded.  A baseline
+engine entry may carry its own ``"min_speedup"`` which *overrides* the
+command-line absolute floor for that graph (grid-5k-unit gates bsp-mp
+at 1.0x — the superstep-coalescing worst case — rather than the
+suite-wide 1.5x).  ``--min-mp-vs-batched`` additionally gates the
+direct wall-clock ratio ``bsp-batched / bsp-mp`` (the IPC-gap target:
+the pooled engine must not trail the in-process vectorised engine by
+more than the given factor).  Every bsp-mp gate needs parallel
+hardware to be meaningful — on a single-CPU host the pool's workers
+serialise and the ratios measure scheduler overhead, so the mp gates
+are skipped with a note (exactly as the JIT gate is skipped without
+numba).
 
 Determinism: every graph is built from fixed generator seeds, seeds are
 drawn from a fixed RNG, engines iterate in registry order (default
@@ -54,6 +65,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -269,18 +281,27 @@ def check_baseline(
     min_speedup: float | None,
     min_speedup_mp: float | None,
     min_speedup_native: float | None,
+    min_mp_vs_batched: float | None = None,
 ) -> int:
     """Gate: fail when a gated engine's speedup regressed.
 
     Each gated engine (``bsp-batched``, ``bsp-mp``) is compared against
     its own baseline entry; a graph/engine pair absent from the baseline
-    is skipped (lets the baseline trail new suites by one PR).  The
-    JIT-tier gate (``bsp-native`` vs ``bsp-batched``) additionally
-    needs numba — without it the engine runs as its twin and the ratio
-    is ~1 by construction, so the gate is skipped with a note.
+    is skipped (lets the baseline trail new suites by one PR).  A
+    baseline engine entry carrying ``"min_speedup"`` overrides the
+    command-line absolute floor for that one graph.  The
+    ``min_mp_vs_batched`` gate compares raw wall-clock —
+    ``bsp-batched`` seconds over ``bsp-mp`` seconds — against an
+    absolute floor.  The JIT-tier gate (``bsp-native`` vs
+    ``bsp-batched``) additionally needs numba, and every bsp-mp gate
+    needs >=2 CPUs — without them the ratios measure the fallback twin
+    or scheduler overhead respectively, so those gates are skipped with
+    a note.
     """
     baseline = json.loads(baseline_path.read_text())
     native_active = native_status()["available"]
+    n_cpus = os.cpu_count() or 1
+    mp_hardware = n_cpus >= 2
     failures = []
     gates = ((GATED_ENGINE, min_speedup), (MP_ENGINE, min_speedup_mp))
     for name, record in results.items():
@@ -293,6 +314,12 @@ def check_baseline(
         for engine, abs_floor in gates:
             if engine not in engines or engine == reference:
                 continue  # suite reference or absent: ratio not meaningful
+            if engine == MP_ENGINE and not mp_hardware:
+                print(
+                    f"[check] {name}: {engine} pool serialises on "
+                    f"{n_cpus} CPU, mp gate skipped"
+                )
+                continue
             base_engine = base_graph["engines"].get(engine)
             if base_engine is None:
                 print(f"[check] {name}: no {engine} baseline, skipping")
@@ -300,6 +327,7 @@ def check_baseline(
             base = base_engine["speedup"]
             measured = engines[engine]["speedup"]
             floor = base * (1.0 - tolerance)
+            abs_floor = base_engine.get("min_speedup", abs_floor)
             if abs_floor is not None:
                 floor = max(floor, abs_floor)
             status = "OK" if measured >= floor else "REGRESSED"
@@ -309,6 +337,29 @@ def check_baseline(
             )
             if measured < floor:
                 failures.append(f"{name}:{engine}")
+        if (
+            min_mp_vs_batched is not None
+            and MP_ENGINE in engines
+            and GATED_ENGINE in engines
+        ):
+            if not mp_hardware:
+                print(
+                    f"[check] {name}: {MP_ENGINE} pool serialises on "
+                    f"{n_cpus} CPU, mp-vs-batched gate skipped"
+                )
+            else:
+                measured = (
+                    engines[GATED_ENGINE]["seconds"]
+                    / engines[MP_ENGINE]["seconds"]
+                )
+                status = "OK" if measured >= min_mp_vs_batched else "REGRESSED"
+                print(
+                    f"[check] {name}: {MP_ENGINE} wall-clock "
+                    f"{measured:.2f}x vs {GATED_ENGINE} "
+                    f"(floor {min_mp_vs_batched:.2f}x) {status}"
+                )
+                if measured < min_mp_vs_batched:
+                    failures.append(f"{name}:{MP_ENGINE}-vs-{GATED_ENGINE}")
         if NATIVE_ENGINE in engines:
             if not native_active:
                 print(
@@ -382,6 +433,12 @@ def main(argv: list[str] | None = None) -> int:
         "(CI gate: 1.5 at the default 2-worker pool)",
     )
     parser.add_argument(
+        "--min-mp-vs-batched", type=float, default=None,
+        help="absolute floor for the bsp-batched/bsp-mp wall-clock "
+        "ratio (the IPC-gap gate: 0.95 on the full suite in CI); "
+        "skipped on single-CPU hosts",
+    )
+    parser.add_argument(
         "--min-speedup-native", type=float, default=None,
         help="absolute floor for bsp-native vs bsp-batched (the CI "
         "numba job gates 2.0 on the scale suite); ignored without numba",
@@ -439,6 +496,7 @@ def main(argv: list[str] | None = None) -> int:
             args.min_speedup,
             args.min_speedup_mp,
             args.min_speedup_native,
+            args.min_mp_vs_batched,
         )
     return 0
 

@@ -1,4 +1,4 @@
-"""mp-protocol conformance: REP401 (partial ``bsp-mp`` clone protocol).
+"""mp-protocol conformance: REP401/REP402 (static), REP504 (probe).
 
 The ``bsp-mp`` engine replicates a program into its forked workers via
 four hooks — ``mp_clone_payload`` / ``mp_materialize`` (phase start),
@@ -13,6 +13,23 @@ checkpoint restore.
 **REP401** fires on any class defining some but not all four hooks.
 The hook list is :data:`repro.contracts.MP_PROGRAM_CONTRACT`, the same
 data the engine's probe uses.
+
+**REP402** extends the gate to the shared-memory data plane: an
+mp-capable program's emissions travel between processes as fixed-width
+``int64`` blocks in a :class:`~repro.runtime.shm_transport.ShmRing`,
+and the receiving side reconstructs them from
+``program.batch_payload_width`` alone — the descriptors carry offsets,
+not schemas.  A base-less class implementing all four hooks must
+therefore also pin ``batch_payload_width`` as a *literal* int; a
+missing or computed width means the decode geometry cannot be audited
+statically and can silently diverge between parent and worker.
+(Classes with bases are skipped — the width may be inherited.)
+
+**REP504** is the live half: a repo rule that round-trips a synthetic
+emission batch of every registered mp program's declared width through
+``ShmRing`` pack/unpack and requires bit-identical arrays back — the
+transport-preserves-parity contract, verified at check time for every
+width actually shipped.
 """
 
 from __future__ import annotations
@@ -20,7 +37,7 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.analysis.engine import Finding, ModuleContext, file_rule
+from repro.analysis.engine import Finding, ModuleContext, file_rule, repo_rule
 from repro.contracts import MP_PROGRAM_CONTRACT
 
 __all__: list[str] = []
@@ -51,3 +68,157 @@ def check_mp_protocol(ctx: ModuleContext) -> Iterator[Finding]:
             f"(partial protocols half-work — clone without merge loses "
             f"converged state)",
         )
+
+
+def _literal_int_width(node: ast.ClassDef) -> "bool | None":
+    """``True``/``False`` if the class body assigns
+    ``batch_payload_width`` a literal-int/non-literal value, ``None``
+    if it never assigns it at all."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            names = {t.id for t in stmt.targets if isinstance(t, ast.Name)}
+            value: ast.expr | None = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            names = {stmt.target.id}
+            value = stmt.value
+        else:
+            continue
+        if "batch_payload_width" not in names:
+            continue
+        return (
+            isinstance(value, ast.Constant)
+            and type(value.value) is int
+        )
+    return None
+
+
+@file_rule(
+    ("REP402", "mp program lacks a literal batch_payload_width"),
+)
+def check_mp_width_is_literal(ctx: ModuleContext) -> Iterator[Finding]:
+    hooks = set(MP_PROGRAM_CONTRACT)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ClassDef) or node.bases:
+            # inherited widths are fine — the base class gets checked
+            continue
+        defined = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in hooks
+        }
+        if defined != hooks:
+            continue  # partial protocols are REP401's finding, not ours
+        literal = _literal_int_width(node)
+        if literal is True:
+            continue
+        how = (
+            "never assigns" if literal is None else "computes rather than pins"
+        )
+        yield ctx.finding(
+            "REP402",
+            node,
+            f"class {node.name!r} implements the full bsp-mp clone "
+            f"protocol but {how} 'batch_payload_width': the shm "
+            f"descriptor path decodes emission blocks from this width "
+            f"alone, so it must be a literal int on the class",
+        )
+
+
+@repo_rule(
+    ("REP504", "mp program emissions fail the shm round-trip probe"),
+)
+def check_shm_round_trip() -> Iterator[Finding]:
+    """Round-trip a synthetic emission batch of every registered mp
+    program's ``batch_payload_width`` through the shm descriptor path.
+
+    'Registered' means: defined in a :mod:`repro.core` module with all
+    four clone hooks — the same population ``DistributedSteinerSolver``
+    hands to ``bsp-mp``.  The probe packs ``(targets, payload)`` blocks
+    (int64 extremes included) into a fresh ring and requires the decode
+    to be bit-identical; any drift here would surface as silent parity
+    loss between the pickled and shm transports.
+    """
+    import importlib
+    import pkgutil
+
+    import numpy as np
+
+    import repro.core
+    from repro.runtime.shm_transport import (
+        SHM_AVAILABLE,
+        ShmRing,
+        pack_message_block,
+        unpack_message_block,
+    )
+
+    if not SHM_AVAILABLE:  # pragma: no cover - platform without shm
+        return
+
+    programs: list[tuple[str, type]] = []
+    for info in pkgutil.iter_modules(repro.core.__path__):
+        module = importlib.import_module(f"repro.core.{info.name}")
+        for obj in vars(module).values():
+            if (
+                isinstance(obj, type)
+                and obj.__module__ == module.__name__
+                and all(hasattr(obj, h) for h in MP_PROGRAM_CONTRACT)
+            ):
+                programs.append((module.__name__, obj))
+
+    ring = ShmRing(4096 * 8)
+    try:
+        for mod_name, cls in sorted(programs, key=lambda p: p[1].__name__):
+            path = "src/" + mod_name.replace(".", "/") + ".py"
+            width = getattr(cls, "batch_payload_width", None)
+            if not isinstance(width, int) or width < 1:
+                yield Finding(
+                    rule="REP504",
+                    path=path,
+                    line=1,
+                    col=0,
+                    message=f"mp program {cls.__name__!r} has no usable "
+                    f"batch_payload_width ({width!r}) — the shm "
+                    f"descriptor path cannot decode its emissions",
+                )
+                continue
+            lo, hi = -(2**62), 2**62
+            targets = np.array([0, 1, -1, hi, lo, 7], dtype=np.int64)
+            payload = (
+                np.arange(targets.size * width, dtype=np.int64)
+                .reshape(targets.size, width)
+            )
+            payload[0, 0] = hi
+            payload[-1, -1] = lo
+            batch = (targets, payload)
+            widths = (1, width)
+            blob = pack_message_block(ring, batch)
+            if blob[0] != "shm":
+                yield Finding(
+                    rule="REP504",
+                    path=path,
+                    line=1,
+                    col=0,
+                    message=f"mp program {cls.__name__!r}: probe batch of "
+                    f"width {width} did not take the shm path "
+                    f"(got {blob[0]!r} descriptor)",
+                )
+                continue
+            decoded = unpack_message_block(ring, blob, widths, copy=True)
+            same = all(
+                a.dtype == np.int64 and np.array_equal(a.reshape(b.shape), b)
+                for a, b in zip(decoded, batch)
+            )
+            if not same:
+                yield Finding(
+                    rule="REP504",
+                    path=path,
+                    line=1,
+                    col=0,
+                    message=f"mp program {cls.__name__!r}: emission batch "
+                    f"of width {width} did not round-trip the shm ring "
+                    f"bit-identically — pickled and shm transports would "
+                    f"silently diverge",
+                )
+    finally:
+        ring.close(unlink=True)

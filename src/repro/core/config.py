@@ -45,6 +45,17 @@ FINGERPRINT_EXCLUSIONS: dict[str, str] = {
     "fault_plan": "injected faults are recovered bit-identically (the "
     "recovery-preserves-parity contract), so a plan never changes a "
     "correct run's output",
+    "shm_transport": "transport selection moves the identical message "
+    "bytes through shared-memory rings or pickled pipes; trees and "
+    "every BSP counter are bit-identical either way (pinned by "
+    "tests/test_engine_conformance.py)",
+    "coalesce_threshold": "superstep coalescing groups physical "
+    "barriers only; logical visit/message/superstep accounting is "
+    "preserved bit-identically (conformance harness), so the "
+    "threshold never changes results",
+    "coalesce_max": "cap on logical supersteps per coalesced group — "
+    "same physical-grouping-only argument as coalesce_threshold; "
+    "results are bit-identical at any cap",
 }
 
 
@@ -147,6 +158,22 @@ class SolverConfig:
         itself usually unset).  Testing machinery — recovery keeps
         results bit-identical, so a fault plan never changes a correct
         run's output.
+    shm_transport:
+        ``bsp-mp`` message transport: ``None`` (default) auto-selects
+        shared-memory rings when ``multiprocessing.shared_memory`` is
+        available, ``True`` requests them explicitly, ``False`` forces
+        the pickled-pipe fallback (the parity reference).  Results are
+        bit-identical either way.
+    coalesce_threshold:
+        ``bsp-mp`` adaptive superstep coalescing: when a superstep's
+        inbox holds fewer than this many messages, workers run several
+        logical supersteps behind one barrier (``None`` = the engine's
+        default, currently 1024; ``0`` disables coalescing).  Physical
+        grouping only — logical counters are preserved bit-identically.
+    coalesce_max:
+        Cap on logical supersteps per coalesced group (``None`` = the
+        engine's default, currently 16; groups also never straddle a
+        ``checkpoint_interval`` boundary).
     """
 
     n_ranks: int = 16
@@ -166,6 +193,9 @@ class SolverConfig:
     max_restarts: Optional[int] = None
     worker_timeout_s: Optional[float] = None
     fault_plan: Optional[Any] = None
+    shm_transport: Optional[bool] = None
+    coalesce_threshold: Optional[int] = None
+    coalesce_max: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
@@ -187,6 +217,12 @@ class SolverConfig:
             raise ValueError("max_restarts must be >= 0 (or None for the default)")
         if self.worker_timeout_s is not None and self.worker_timeout_s <= 0:
             raise ValueError("worker_timeout_s must be > 0 (or None to disable)")
+        if self.coalesce_threshold is not None and self.coalesce_threshold < 0:
+            raise ValueError(
+                "coalesce_threshold must be >= 0 (or None for the default)"
+            )
+        if self.coalesce_max is not None and self.coalesce_max < 1:
+            raise ValueError("coalesce_max must be >= 1 (or None for the default)")
         object.__setattr__(self, "discipline", QueueDiscipline(self.discipline))
         # the legacy bsp flag is an alias for engine="bsp"; afterwards
         # the field mirrors whether the engine is bulk-synchronous

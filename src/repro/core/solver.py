@@ -213,6 +213,9 @@ class DistributedSteinerSolver:
             max_restarts=cfg.max_restarts,
             worker_timeout_s=cfg.worker_timeout_s,
             fault_plan=cfg.fault_plan,
+            shm_transport=cfg.shm_transport,
+            coalesce_threshold=cfg.coalesce_threshold,
+            coalesce_max=cfg.coalesce_max,
         )
 
         try:
@@ -358,6 +361,16 @@ class DistributedSteinerSolver:
                 "replayed_supersteps": engine.replayed_supersteps,
                 "recovery_wall_s": engine.recovery_wall_s,
             }
+
+        # coalescing provenance: present iff ``bsp-mp`` actually grouped
+        # supersteps behind shared barriers (logical counters — and hence
+        # the tree — are identical either way); ``transport`` records the
+        # data plane the pool ran on (shm rings vs pickled pipes)
+        if getattr(engine, "coalesced_supersteps", 0):
+            provenance["coalesced_supersteps"] = engine.coalesced_supersteps
+        transport = getattr(engine, "transport_used", None)
+        if transport is not None:
+            provenance["transport"] = transport
 
         # ---- assemble the tree ---------------------------------------- #
         cross_w = dg.dprime[active] - dist[dg.u[active]] - dist[dg.v[active]]

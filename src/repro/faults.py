@@ -218,6 +218,30 @@ class FaultPlan:
                     out.append(action)
         return out
 
+    def peek(
+        self,
+        kind: str,
+        *,
+        phase: Optional[str] = None,
+        superstep: Optional[int] = None,
+        worker: Optional[int] = None,
+    ) -> list[FaultAction]:
+        """Like :meth:`take`, but *without* consuming: every
+        not-yet-fired action matching the injection point, left armed.
+        Consumers that batch several injection points behind one
+        decision (e.g. the ``bsp-mp`` engine planning a coalesced
+        superstep group) peek ahead to find the earliest fault, then
+        :meth:`take` only at the point where it actually fires."""
+        with self._lock:
+            return [
+                a
+                for a, f in zip(self.actions, self._fired)
+                if not f
+                and a.matches(
+                    kind, phase=phase, superstep=superstep, worker=worker
+                )
+            ]
+
     def pending(self) -> int:
         """Number of actions that have not fired yet."""
         with self._lock:

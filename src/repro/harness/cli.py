@@ -11,11 +11,15 @@ Subcommands
     each report — the command behind EXPERIMENTS.md.
 ``solve --dataset LVJ --seeds 30 [--ranks 16] [--queue priority]
 [--engine async-heap|bsp|bsp-batched|bsp-mp|bsp-native] [--workers N]
-[--backend simulate|dijkstra|delta-numpy|delta-numba|scipy|...]``
+[--backend simulate|dijkstra|delta-numpy|delta-numba|scipy|...]
+[--shm-transport auto|on|off] [--coalesce-threshold N]
+[--coalesce-max K]``
     One-off solve on a stand-in dataset, printing the tree summary and
     the phase breakdown.  ``--engine`` picks the runtime engine the
     message-driven phases execute on (``--workers`` sizes the
-    ``bsp-mp`` process pool); ``--backend simulate`` (default) runs the
+    ``bsp-mp`` process pool; ``--shm-transport`` / ``--coalesce-*``
+    tune its data plane, results identical at any setting);
+    ``--backend simulate`` (default) runs the
     message-driven Voronoi phase; any registered shortest-path backend
     name computes the identical tree via that sequential kernel.
 ``serve [--tcp HOST:PORT] [--preload LVJ,MCO] [--backend delta-numpy]
@@ -126,6 +130,7 @@ def _cmd_solve(args) -> int:
     graph = load_dataset(args.dataset)
     seeds = select_seeds(graph, args.seeds, args.strategy, seed=args.seed)
     backend = None if args.backend == "simulate" else args.backend
+    shm = {"auto": None, "on": True, "off": False}[args.shm_transport]
     try:
         config = SolverConfig(
             n_ranks=args.ranks,
@@ -133,6 +138,9 @@ def _cmd_solve(args) -> int:
             engine=args.engine,
             workers=args.workers,
             voronoi_backend=backend,
+            shm_transport=shm,
+            coalesce_threshold=args.coalesce_threshold,
+            coalesce_max=args.coalesce_max,
         )
     except ValueError as exc:  # e.g. a typo'd --backend/--engine name
         print(f"error: {exc}", file=sys.stderr)
@@ -407,6 +415,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="Voronoi phase: 'simulate' (message-driven engine, default) "
         "or a registered shortest-path backend name "
         "(see `repro-steiner backends`)",
+    )
+    p_solve.add_argument(
+        "--shm-transport",
+        choices=["auto", "on", "off"],
+        default="auto",
+        help="bsp-mp data plane: 'auto' uses shared-memory rings when "
+        "the platform supports them, 'on' requires them, 'off' forces "
+        "the pickled-pipe fallback (results identical either way)",
+    )
+    p_solve.add_argument(
+        "--coalesce-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bsp-mp: group supersteps behind one barrier while the "
+        "inbox stays below N messages (0 disables; default: the "
+        "engine's built-in threshold)",
+    )
+    p_solve.add_argument(
+        "--coalesce-max",
+        type=int,
+        default=None,
+        metavar="K",
+        help="bsp-mp: at most K logical supersteps per coalesced group "
+        "(1 disables; default: the engine's built-in cap)",
     )
     p_solve.set_defaults(func=_cmd_solve)
 

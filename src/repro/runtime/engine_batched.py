@@ -200,47 +200,58 @@ class BSPBatchedEngine(BSPEngine):
         events = 0
         total_time = 0.0
         while targets.size:
-            supersteps += 1
-            if supersteps > max_supersteps:
-                raise SimulationError(f"BSP phase {name!r} did not converge")
-            events += targets.size
-            if max_events is not None and events > max_events:
-                raise SimulationError(
-                    f"phase {name!r} exceeded {max_events} events (runaway?)"
+            # one driver call may execute several *logical* supersteps
+            # (a coalescing subclass groups them behind one barrier);
+            # every yielded step runs the identical accounting below,
+            # so the logical counters never depend on the grouping
+            for step in self._drive_supersteps(program, targets, payload, width):
+                (
+                    in_targets,
+                    _in_payload,
+                    proc_rank,
+                    src_ranks,
+                    out_targets,
+                    out_payload,
+                ) = step
+                supersteps += 1
+                if supersteps > max_supersteps:
+                    raise SimulationError(
+                        f"BSP phase {name!r} did not converge"
+                    )
+                events += in_targets.size
+                if max_events is not None and events > max_events:
+                    raise SimulationError(
+                        f"phase {name!r} exceeded {max_events} events "
+                        "(runaway?)"
+                    )
+                if in_targets.size > stats.peak_queue_total:
+                    stats.peak_queue_total = int(in_targets.size)
+                stats.n_visits += int(in_targets.size)
+
+                # vectorised cost-model accounting: t_visit per processed
+                # message, t_emit per emission, attributed to the acting
+                # rank
+                step_rank_time = machine.t_visit * np.bincount(
+                    proc_rank, minlength=n_ranks
+                ) + machine.t_emit * np.bincount(
+                    src_ranks, minlength=n_ranks
                 )
-            if targets.size > stats.peak_queue_total:
-                stats.peak_queue_total = int(targets.size)
-            stats.n_visits += int(targets.size)
+                stats.busy_time += step_rank_time
+                total_time += float(step_rank_time.max()) + barrier
 
-            is_rank = targets < 0
-            proc_rank = np.where(
-                is_rank, -targets - 1, owner[np.maximum(targets, 0)]
-            )
-            src_ranks, out_targets, out_payload = self._superstep_batch(
-                program, targets, payload, proc_rank, width
-            )
+                dest = np.where(
+                    out_targets < 0,
+                    -out_targets - 1,
+                    owner[np.maximum(out_targets, 0)],
+                )
+                n_local = int((dest == src_ranks).sum())
+                stats.n_messages_local += n_local
+                stats.n_messages_remote += int(out_targets.size) - n_local
+                stats.bytes_sent += (
+                    int(out_targets.size) * machine.bytes_per_message
+                )
 
-            # vectorised cost-model accounting: t_visit per processed
-            # message, t_emit per emission, attributed to the acting rank
-            step_rank_time = machine.t_visit * np.bincount(
-                proc_rank, minlength=n_ranks
-            ) + machine.t_emit * np.bincount(
-                src_ranks, minlength=n_ranks
-            )
-            stats.busy_time += step_rank_time
-            total_time += float(step_rank_time.max()) + barrier
-
-            dest = np.where(
-                out_targets < 0,
-                -out_targets - 1,
-                owner[np.maximum(out_targets, 0)],
-            )
-            n_local = int((dest == src_ranks).sum())
-            stats.n_messages_local += n_local
-            stats.n_messages_remote += int(out_targets.size) - n_local
-            stats.bytes_sent += int(out_targets.size) * machine.bytes_per_message
-
-            targets, payload = out_targets, out_payload
+                targets, payload = out_targets, out_payload
 
         self._phase_end(program)
         stats.sim_time = total_time
@@ -250,8 +261,34 @@ class BSPBatchedEngine(BSPEngine):
         return stats
 
     # ------------------------------------------------------------------ #
-    # subclass hooks (the ``bsp-mp`` engine overrides all three)
+    # subclass hooks (the ``bsp-mp`` engine overrides all of these)
     # ------------------------------------------------------------------ #
+    def _drive_supersteps(
+        self,
+        program: VertexProgram,
+        targets: np.ndarray,
+        payload: np.ndarray,
+        width: int,
+    ):
+        """Execute one *or more* logical supersteps starting from the
+        given inbox, yielding per superstep the accounting tuple
+        ``(in_targets, in_payload, proc_rank, src_ranks, out_targets,
+        out_payload)``.  The base engine always yields exactly one step
+        per call; the ``bsp-mp`` engine's adaptive coalescing yields a
+        whole group executed behind a single barrier — the ``run_phase``
+        loop above applies the identical per-step accounting either
+        way, which is what keeps logical counters independent of the
+        physical grouping."""
+        owner = self.partition.owner
+        is_rank = targets < 0
+        proc_rank = np.where(
+            is_rank, -targets - 1, owner[np.maximum(targets, 0)]
+        )
+        src_ranks, out_targets, out_payload = self._superstep_batch(
+            program, targets, payload, proc_rank, width
+        )
+        yield targets, payload, proc_rank, src_ranks, out_targets, out_payload
+
     def _superstep_batch(
         self,
         program: VertexProgram,

@@ -17,31 +17,70 @@ The partitioned CSR (graph topology, weights, ``owner``/``arc_rank``
 maps) is **never pickled**: workers are forked after the engine holds
 the partition, so they inherit it through copy-on-write pages — the
 read-only-shared-graph arrangement HavoqGT gets from mmap'd graph
-storage (the ``SharedMemory`` alternative would buy the same pages at
-the cost of explicit segment lifecycle management; fork pages need
-none).  Three message kinds cross process boundaries, all compact:
+storage.  Message *arrays* cross process boundaries through per-worker
+:class:`~repro.runtime.shm_transport.ShmRing` shared-memory rings (two
+per worker: a parent-written inbox ring and a worker-written emission
+ring, both allocated before the fork so both sides inherit the same
+segments): the writer packs the flat ``int64`` arrays into its ring and
+sends only a small ``(offset, rows, cols)`` descriptor over the pipe;
+the reader reconstructs zero-copy ``np.ndarray`` views.  Three message
+kinds remain pickled, all compact and once-per-phase-scale:
 
 * once per phase: the program's *mutable* state payload
   (:meth:`mp_clone_payload` → :meth:`mp_materialize`), e.g. the
   initialised seed entries of the Voronoi program;
-* once per superstep per worker: the worker's inbox shard and its
-  drained emissions — flat ``int64`` arrays, exactly the
-  per-destination message arrays a real MPI exchange would ship;
-* once per phase at quiescence: each worker's owned-vertex state
-  (:meth:`mp_collect` → :meth:`mp_merge`), folded back into the
-  driver's program so downstream phases see the converged arrays.
+* at state-sync points: per-worker owned-state deltas
+  (:meth:`mp_collect` → :meth:`mp_merge`), which are small dicts;
+* once per phase at quiescence: each worker's owned-vertex state,
+  folded back into the driver's program.
+
+When ``multiprocessing.shared_memory`` is unavailable (or the
+``shm_transport`` knob disables it) every descriptor degrades to the
+pickled ``("raw", ...)`` form — the fallback *is* the parity reference,
+and ``tests/test_engine_conformance.py`` pins that both transports
+produce bit-identical trees and counters.
+
+Adaptive superstep coalescing
+-----------------------------
+Many-tiny-superstep phases (long-diameter grids) are barrier-bound:
+each superstep moves a handful of messages but pays a full
+send/receive/merge round trip.  When the inbox volume falls below
+``coalesce_threshold`` messages, the driver switches to *coalesced
+groups*: every worker receives the **full** inbox and runs up to
+``coalesce_max`` supersteps locally behind a single barrier (stopping
+early at quiescence or when the volume grows back over the threshold),
+with one designated worker streaming each superstep's emissions back so
+the driver can run the identical per-superstep accounting.  This is the
+HavoqGT message/packet-aggregation idea in array form.  Logical
+counters — visits, messages, bytes, peak queue, superstep count — are
+**bit-identical** to uncoalesced execution because the accounting loop
+consumes the same per-superstep arrays either way; only the number of
+physical barriers changes.  The cumulative number of logical supersteps
+executed inside groups is exposed as ``coalesced_supersteps``
+(EngineResult and solver provenance).
+
+Replicated group execution is exact because (a) before each group the
+driver synchronises every worker's replica with the owned-state deltas
+of all vertices written since the previous sync ("dirty set"), so all
+replicas compute the group identically, and (b) phase-end/checkpoint
+collects are ownership-filtered (each program's :meth:`mp_collect`
+restricts to the queried vertices), so state written redundantly by a
+replica for vertices it does not own is never double-collected.
 
 Parity contract
 ---------------
 ``bsp-mp`` produces **bit-identical** message counts, visit counts,
 byte counts, peak-queue and superstep counts to ``bsp-batched`` (and
-hence to ``bsp``) for any ``workers`` value: the driver runs the
-identical accounting loop on the concatenated emissions, and the
-per-vertex lexicographic-minimum reduction inside a superstep is
-order-independent, so sharding the inbox by owner rank changes nothing
-observable.  ``tests/test_engine_mp.py`` pins this for ``workers`` in
-{1, 2, 4}.  Simulated time is a *model* output — identical too — while
-wall-clock time is where the workers actually help.
+hence to ``bsp``) for any ``workers`` value, either transport, and any
+coalescing setting: the driver runs the identical accounting loop on
+the per-superstep emission arrays, and the per-vertex
+lexicographic-minimum reduction inside a superstep is
+order-independent, so neither sharding the inbox by owner rank nor
+replicating it across workers changes anything observable.
+``tests/test_engine_conformance.py`` pins this for ``workers`` in
+{1, 2, 4} across transports.  Simulated time is a *model* output —
+identical too — while wall-clock time is where the workers actually
+help.
 
 Fault tolerance
 ---------------
@@ -52,19 +91,28 @@ Rank failure is the norm at the paper's target scale, so the driver
   that misses the per-superstep heartbeat (``worker_timeout_s``; hung
   workers are hard-killed) raises an internal death record, never a
   bare ``EOFError``.
-* **Checkpoint** — every ``checkpoint_interval`` supersteps the driver
-  gathers each worker's owned-vertex state (:meth:`mp_collect`, the
-  same snapshot the phase-end merge uses) and clears its *replay log*
-  (the per-superstep inbox shards since the last checkpoint).
-* **Recovery** — a dead worker is forked afresh, re-materialised from
-  the phase-start program snapshot, restored from its last checkpoint,
-  and re-driven through the logged supersteps (emissions discarded —
-  the cluster already consumed them) before the *current* superstep is
-  re-executed for its emissions.  Because a superstep is a
-  deterministic function of checkpointed state, the recovered
-  emissions, the resulting tree, and **every BSP counter** are
-  bit-identical to a fault-free run (``tests/test_faults.py`` pins
-  this by killing a worker at every superstep index in turn).
+* **Checkpoint** — every ``checkpoint_interval`` *logical* supersteps
+  the driver gathers each worker's owned-vertex state
+  (:meth:`mp_collect`, the same snapshot the phase-end merge uses) and
+  clears its *replay log* (the sharded steps, coalesced groups and
+  state syncs since the last checkpoint).  Coalesced groups never
+  straddle a checkpoint boundary, so replay stays bounded by
+  ``checkpoint_interval`` logical supersteps.
+* **Recovery** — a dead worker is forked afresh (inheriting the same
+  ring segments, so no transport state needs rebuilding — descriptors
+  are self-describing and its ring head simply restarts), re-
+  materialised from the phase-start program snapshot, restored from
+  the **union** of all workers' last checkpoints (a replica that will
+  replay coalesced groups needs the full synced state, not just its
+  own shard), re-driven through the logged entries (emissions
+  discarded — the cluster already consumed them; replayed commands
+  ship raw arrays since old ring offsets are stale) and finally
+  through the *current* step or group, whose emissions are returned.
+  Because every entry is a deterministic function of restored state,
+  the recovered emissions, the resulting tree, and **every BSP
+  counter** are bit-identical to a fault-free run
+  (``tests/test_faults.py`` pins this by killing a worker at every
+  superstep index in turn, on both transports).
 * **Escalation** — after ``max_restarts`` restarts within one phase
   the engine raises :class:`~repro.errors.WorkerCrashError` (the
   transient class the serve layer retries), carrying restart
@@ -75,8 +123,11 @@ Rank failure is the norm at the paper's target scale, so the driver
 Deterministic chaos comes from :class:`repro.faults.FaultPlan`
 (``SolverConfig(fault_plan=...)`` or the ``REPRO_FAULT_PLAN`` env
 hook): ``kill_worker`` actions hard-kill a worker just before a chosen
-superstep, ``delay_worker`` actions stall one long enough to trip the
-heartbeat.
+logical superstep, ``delay_worker`` actions stall one long enough to
+trip the heartbeat.  The driver *peeks* the plan when sizing a
+coalesced group so a mid-group fault lands on its exact logical
+superstep (the group is truncated there and the survivors run
+deterministically to the same point).
 
 Fallback rules (the engine is total over every program):
 
@@ -86,7 +137,11 @@ Fallback rules (the engine is total over every program):
 * the program lacks the mp protocol (:func:`supports_mp`)
   → in-process vectorised supersteps;
 * FIFO discipline or no batch protocol
-  → the scalar per-message superstep loop, as in the batched engine.
+  → the scalar per-message superstep loop, as in the batched engine;
+* ``shared_memory`` unavailable or ``shm_transport=False``
+  → pickled array descriptors over the same protocol;
+* a batch that does not fit its ring → that one descriptor degrades
+  to pickled, transparently.
 
 The mp protocol
 ---------------
@@ -98,23 +153,26 @@ A program opts in by implementing, on top of the batch protocol:
 ``mp_materialize(partition, payload) -> program``  (classmethod)
     Rebuild a worker-side replica from the inherited partition plus the
     snapshot.
-``mp_collect(owned_vertices) -> dict``
-    Picklable state restricted to the vertices this worker owns (the
-    only state it can have written).
+``mp_collect(vertices) -> dict``
+    Picklable state restricted to ``vertices`` (an arbitrary vertex-id
+    array: the worker's owned set for phase-end/checkpoint collects, a
+    dirty subset for pre-group state syncs).
 ``mp_merge(collected) -> None``
-    Fold one worker's collected state into the driver's program.
+    Fold one collected delta into this replica's state (idempotent
+    for any state a replica may already hold).
 
 ``mp_collect``/``mp_merge`` double as the checkpoint format: restoring
 a fresh replica is ``mp_materialize`` (phase snapshot) followed by
-``mp_merge`` (its own last collect), which reconstructs the exact state
-the worker held at the checkpointed superstep.
+``mp_merge`` of checkpoint deltas, which reconstructs the exact state
+held at the checkpointed superstep.
 
 Pool lifecycle: workers start lazily on the first multiprocess phase
 and persist across phases (the solver runs phases 1 and 6 on one
 engine).  :meth:`BSPMultiprocessEngine.close` — called by the solver in
-a ``finally`` and by ``run_phase_with`` — always shuts the pool down,
-escalating ``terminate`` → ``kill`` on a wedged child so solver exit
-can never hang; workers are daemonic as a second line of defence.
+a ``finally`` and by ``run_phase_with`` — always shuts the pool down
+(terminating workers, then closing and unlinking the shared-memory
+rings), escalating ``terminate`` → ``kill`` on a wedged child so solver
+exit can never hang; workers are daemonic as a second line of defence.
 """
 
 from __future__ import annotations
@@ -138,9 +196,17 @@ from repro.runtime.engine_batched import (
 )
 from repro.runtime.partition import PartitionedGraph
 from repro.runtime.queues import QueueDiscipline
+from repro.runtime.shm_transport import (
+    SHM_AVAILABLE,
+    ShmRing,
+    pack_message_block,
+    unpack_message_block,
+)
 
 __all__ = [
     "DEFAULT_CHECKPOINT_INTERVAL",
+    "DEFAULT_COALESCE_MAX",
+    "DEFAULT_COALESCE_THRESHOLD",
     "DEFAULT_MAX_RESTARTS",
     "DEFAULT_WORKERS",
     "BSPMultiprocessEngine",
@@ -154,12 +220,27 @@ __all__ = [
 DEFAULT_WORKERS = 2
 
 #: take an owned-state checkpoint every K supersteps (the replay log —
-#: the inboxes a recovery must re-drive — never exceeds K supersteps)
-DEFAULT_CHECKPOINT_INTERVAL = 4
+#: the entries a recovery must re-drive — never exceeds K logical
+#: supersteps; coalesced groups are capped at the boundary).  8 balances
+#: recovery cost against checkpoint IPC: each checkpoint is a full
+#: owned-state collect round-trip, which at interval 4 dominated
+#: coalesced stretches of small supersteps
+DEFAULT_CHECKPOINT_INTERVAL = 8
 
 #: worker restarts tolerated per phase before escalating to
 #: :class:`~repro.errors.WorkerCrashError`
 DEFAULT_MAX_RESTARTS = 2
+
+#: inbox volume (messages) below which supersteps are coalesced into
+#: one barrier; ``coalesce_threshold=0`` disables coalescing.  Below
+#: ~16K messages a vectorised superstep is cheaper than one IPC round
+#: trip, so replicated in-worker execution wins even though every
+#: worker runs the full inbox chain
+DEFAULT_COALESCE_THRESHOLD = 16384
+
+#: most logical supersteps one coalesced group may run behind a single
+#: barrier (further capped so groups never straddle a checkpoint)
+DEFAULT_COALESCE_MAX = 32
 
 #: exit code of a fault-injected crash (``kill_worker`` actions), so a
 #: chaos log can tell injected deaths from real ones
@@ -214,15 +295,24 @@ class _WorkerDeath(Exception):
 # --------------------------------------------------------------------- #
 # worker side
 # --------------------------------------------------------------------- #
-def _worker_main(conn, partition: PartitionedGraph, owned: np.ndarray) -> None:
-    """Serve phase/step/restore/collect commands over ``conn``.
+def _worker_main(
+    conn,
+    partition: PartitionedGraph,
+    owned: np.ndarray,
+    ring_in: ShmRing | None,
+    ring_out: ShmRing | None,
+) -> None:
+    """Serve phase/step/steps/restore/collect commands over ``conn``.
 
-    Runs in a forked child: ``partition`` and ``owned`` arrive through
-    inherited memory, not pickling.  Any exception is reported back as
-    an ``("error", traceback)`` reply instead of killing the child
-    silently, so the driver can surface it.  The ``crash`` command
-    (fault injection) exits hard — indistinguishable from an OOM kill
-    from the driver's side, which is the point.
+    Runs in a forked child: ``partition``, ``owned`` and both rings
+    arrive through inherited memory, not pickling.  ``ring_in`` holds
+    parent-packed inbox blocks; emissions are packed into ``ring_out``
+    (falling back to pickled arrays when a block does not fit).  Any
+    exception is reported back as an ``("error", traceback)`` reply
+    instead of killing the child silently, so the driver can surface
+    it.  The ``crash`` command (fault injection) exits hard —
+    indistinguishable from an OOM kill from the driver's side, which is
+    the point.
     """
     program = None
     while True:
@@ -241,25 +331,56 @@ def _worker_main(conn, partition: PartitionedGraph, owned: np.ndarray) -> None:
                 program = cls.mp_materialize(partition, payload)
                 conn.send(("ok", None))
             elif cmd == "restore":
-                program.mp_merge(msg[1])
+                for delta in msg[1]:
+                    program.mp_merge(delta)
                 conn.send(("ok", None))
             elif cmd == "step":
-                _, targets, payload, delay_s = msg
+                _, blob, delay_s = msg
                 if delay_s > 0:  # injected straggler
                     time.sleep(delay_s)
-                conn.send(
-                    (
-                        "ok",
-                        run_batch_superstep(
-                            program,
-                            targets,
-                            payload,
-                            program.batch_payload_width,
-                        ),
-                    )
+                width = program.batch_payload_width
+                targets, payload = unpack_message_block(
+                    ring_in, blob, (1, width)
                 )
+                out = run_batch_superstep(program, targets, payload, width)
+                conn.send(("ok", pack_message_block(ring_out, out)))
+            elif cmd == "steps":
+                # one coalesced group: run up to k_max supersteps on the
+                # full inbox, streaming per-superstep emissions (the
+                # designated worker only) so the driver can account each
+                # logical superstep exactly
+                (_, blob, k_max, threshold, want_stream,
+                 crash_at, delay_at, delay_s) = msg
+                width = program.batch_payload_width
+                targets, payload = unpack_message_block(
+                    ring_in, blob, (1, width)
+                )
+                stream: list[tuple] | None = [] if want_stream else None
+                if want_stream and ring_out is not None:
+                    # stream blocks must all stay live at once
+                    ring_out.rewind()
+                n = 0
+                while True:
+                    if crash_at is not None and n == crash_at:
+                        os._exit(_INJECTED_EXIT)
+                    if delay_at is not None and n == delay_at:
+                        time.sleep(delay_s)
+                    out = run_batch_superstep(program, targets, payload, width)
+                    n += 1
+                    if stream is not None:
+                        stream.append(
+                            pack_message_block(ring_out, out, wrap=False)
+                        )
+                    targets, payload = out[1], out[2]
+                    if n >= k_max or targets.size == 0:
+                        break
+                    if threshold and targets.size >= threshold:
+                        break
+                conn.send(("ok", (n, stream)))
             elif cmd == "collect":
                 conn.send(("ok", program.mp_collect(owned)))
+            elif cmd == "collect_subset":
+                conn.send(("ok", program.mp_collect(msg[1])))
             else:  # pragma: no cover - protocol guard
                 conn.send(("error", f"unknown command {cmd!r}"))
         except BaseException:
@@ -278,9 +399,13 @@ class _RankWorkerPool:
 
     ``rank_worker[r]`` maps simulated rank ``r`` to its worker — the
     same contiguous-block assignment the partitioner uses for vertices,
-    so rank locality survives the extra layer.  Individual workers can
-    be respawned in place (:meth:`respawn`); failure shows up as
-    :class:`_WorkerDeath` from :meth:`recv`, never as a raw pipe error.
+    so rank locality survives the extra layer.  When ``use_shm`` the
+    pool allocates two rings per worker *before* forking (inbox:
+    parent-written, emissions: worker-written); respawned workers fork
+    from the driver again, so they inherit the very same segments.
+    Individual workers can be respawned in place (:meth:`respawn`);
+    failure shows up as :class:`_WorkerDeath` from :meth:`recv`, never
+    as a raw pipe error.
     """
 
     def __init__(
@@ -289,6 +414,8 @@ class _RankWorkerPool:
         n_workers: int,
         *,
         timeout_s: float | None = None,
+        use_shm: bool = False,
+        ring_capacity: int | None = None,
     ) -> None:
         self._ctx = multiprocessing.get_context("fork")
         self.partition = partition
@@ -303,6 +430,18 @@ class _RankWorkerPool:
             np.nonzero(worker_of_vertex == w)[0].astype(np.int64)
             for w in range(n_workers)
         ]
+        self.use_shm = bool(use_shm) and SHM_AVAILABLE
+        if ring_capacity is None:
+            # sized for a typical full inbox/emission batch; anything
+            # larger transparently falls back to a pickled descriptor
+            ring_capacity = min(
+                64 << 20, max(1 << 20, 48 * partition.graph.n_arcs)
+            )
+        self.ring_in: list[ShmRing | None] = [None] * n_workers
+        self.ring_out: list[ShmRing | None] = [None] * n_workers
+        if self.use_shm:
+            self.ring_in = [ShmRing(ring_capacity) for _ in range(n_workers)]
+            self.ring_out = [ShmRing(ring_capacity) for _ in range(n_workers)]
         self._conns: list = [None] * n_workers
         self._procs: list = [None] * n_workers
         for w in range(n_workers):
@@ -313,7 +452,13 @@ class _RankWorkerPool:
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.partition, self._owned[w]),
+            args=(
+                child_conn,
+                self.partition,
+                self._owned[w],
+                self.ring_in[w],
+                self.ring_out[w],
+            ),
             daemon=True,
             name=f"bsp-mp-worker-{w}",
         )
@@ -326,8 +471,11 @@ class _RankWorkerPool:
         """Replace worker ``w`` with a fresh fork (reaping the corpse).
 
         The new child forks from the *driver*, so it inherits the same
-        copy-on-write partition pages as the original — respawning
-        never re-pickles the graph."""
+        copy-on-write partition pages — and the same ring segments — as
+        the original; respawning never re-pickles the graph and never
+        reallocates transport state (its emission-ring head restarts at
+        zero, which is safe because descriptors are self-describing and
+        the protocol is strict request/reply)."""
         self._reap(w)
         self._spawn(w)
 
@@ -394,7 +542,8 @@ class _RankWorkerPool:
 
     def close(self) -> None:
         """Stop and join every worker, escalating ``terminate`` →
-        ``kill`` on any child that does not exit.  Idempotent."""
+        ``kill`` on any child that does not exit, then close and unlink
+        the shared-memory rings.  Idempotent."""
         for conn in self._conns:
             if conn is None:
                 continue
@@ -413,6 +562,11 @@ class _RankWorkerPool:
                     pass
         self._conns = [None] * self.n_workers
         self._procs = [None] * self.n_workers
+        for ring in (*self.ring_in, *self.ring_out):
+            if ring is not None:
+                ring.close(unlink=True)
+        self.ring_in = [None] * self.n_workers
+        self.ring_out = [None] * self.n_workers
 
 
 def _join_escalating(proc, grace_s: float = 5.0) -> None:
@@ -436,10 +590,20 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
     ``workers <= 1`` short-circuits to the in-process batched engine —
     same results, no processes.
 
-    Fault-tolerance knobs (see the module docstring):
+    Transport/coalescing knobs (results are bit-identical for every
+    setting; see the module docstring):
+    ``shm_transport`` forces the shared-memory descriptor transport on
+    (``True``; still requires platform support) or off (``False``,
+    pickled arrays); ``None`` auto-detects.
+    ``coalesce_threshold`` inbox volume below which supersteps coalesce
+    (0 disables), ``coalesce_max`` logical supersteps per coalesced
+    group, ``ring_capacity`` bytes per ring (``None`` sizes from the
+    graph).
+
+    Fault-tolerance knobs:
     ``checkpoint_interval`` supersteps between owned-state checkpoints,
     ``max_restarts`` worker restarts tolerated per phase,
-    ``worker_timeout_s`` per-superstep heartbeat (``None`` disables
+    ``worker_timeout_s`` per-barrier heartbeat (``None`` disables
     hang detection), ``fault_plan`` a deterministic
     :class:`~repro.faults.FaultPlan` to inject (defaults to the
     ``REPRO_FAULT_PLAN`` environment hook).
@@ -456,6 +620,10 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
         max_restarts: Optional[int] = None,
         worker_timeout_s: Optional[float] = None,
         fault_plan: FaultPlan | None = None,
+        shm_transport: Optional[bool] = None,
+        coalesce_threshold: Optional[int] = None,
+        coalesce_max: Optional[int] = None,
+        ring_capacity: Optional[int] = None,
     ) -> None:
         super().__init__(partition, machine, discipline)
         if workers is not None and workers < 1:
@@ -478,9 +646,36 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
             raise ValueError("worker_timeout_s must be > 0 (or None)")
         self.worker_timeout_s = worker_timeout_s
         self.fault_plan = fault_plan if fault_plan is not None else env_plan()
+        self._use_shm = (
+            SHM_AVAILABLE
+            if shm_transport is None
+            else bool(shm_transport) and SHM_AVAILABLE
+        )
+        self._coalesce_threshold = (
+            DEFAULT_COALESCE_THRESHOLD
+            if coalesce_threshold is None
+            else coalesce_threshold
+        )
+        if self._coalesce_threshold < 0:
+            raise ValueError("coalesce_threshold must be >= 0")
+        self._coalesce_max = (
+            DEFAULT_COALESCE_MAX if coalesce_max is None else coalesce_max
+        )
+        if self._coalesce_max < 1:
+            raise ValueError("coalesce_max must be >= 1")
+        if ring_capacity is not None and ring_capacity < 8:
+            raise ValueError("ring_capacity must be >= 8 bytes (or None)")
+        self._ring_capacity = ring_capacity
         #: provenance for benchmarks: workers actually used by the last
         #: ``run_phase`` (1 when a fallback kept execution in-process)
         self.workers_used = 1
+        #: transport of the last pooled phase: "shm" or "pickle"
+        #: (``None`` until a phase actually runs on the pool — the
+        #: fallback rules keep in-process runs transport-free)
+        self.transport_used: Optional[str] = None
+        #: logical supersteps executed inside coalesced groups,
+        #: cumulative across phases (EngineResult / solver provenance)
+        self.coalesced_supersteps = 0
         #: recovery provenance, cumulative across phases (threaded into
         #: ``EngineResult`` and solver ``provenance["fault_recovery"]``)
         self.restarts = 0
@@ -493,8 +688,10 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
         self._phase_restarts = 0
         self._phase_payload: tuple | None = None
         self._superstep_idx = 0
+        self._ckpt_step_idx = 0
         self._ckpt_state: dict[int, object] = {}
         self._replay_log: list[tuple] = []
+        self._dirty: list[np.ndarray] = []
 
     # ------------------------------------------------------------------ #
     def run_phase(
@@ -526,8 +723,13 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
             )
         if self._pool is None:
             self._pool = _RankWorkerPool(
-                self.partition, self.workers, timeout_s=self.worker_timeout_s
+                self.partition,
+                self.workers,
+                timeout_s=self.worker_timeout_s,
+                use_shm=self._use_shm,
+                ring_capacity=self._ring_capacity,
             )
+        self.transport_used = "shm" if self._pool.use_shm else "pickle"
         self._mp_active = True
         self._phase_name = name
         self._phase_restarts = 0
@@ -544,9 +746,10 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
             self._phase_payload = None
             self._ckpt_state = {}
             self._replay_log = []
+            self._dirty = []
 
     # ------------------------------------------------------------------ #
-    # BSPBatchedEngine hooks: replicate / shard / gather — supervised
+    # BSPBatchedEngine hooks: replicate / drive / shard / gather
     # ------------------------------------------------------------------ #
     def _phase_begin(self, program: VertexProgram) -> None:
         if not self._mp_active:
@@ -554,8 +757,10 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
         pool = self._pool
         self._phase_payload = (type(program), program.mp_clone_payload())
         self._superstep_idx = 0
+        self._ckpt_step_idx = 0
         self._ckpt_state = {}
         self._replay_log = []
+        self._dirty = []
         for w in range(pool.n_workers):
             pool.send(w, ("phase", *self._phase_payload))
         for w in range(pool.n_workers):
@@ -563,6 +768,31 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
                 pool.recv(w)
             except _WorkerDeath as death:
                 self._recover_worker(death)
+
+    def _drive_supersteps(self, program, targets, payload, width):
+        if not self._mp_active:
+            yield from super()._drive_supersteps(
+                program, targets, payload, width
+            )
+            return
+        # groups never straddle a checkpoint boundary: replay stays
+        # bounded by checkpoint_interval *logical* supersteps
+        k_cap = min(
+            self._coalesce_max,
+            self.checkpoint_interval
+            - (self._superstep_idx - self._ckpt_step_idx),
+        )
+        if (
+            self._coalesce_max > 1
+            and self._coalesce_threshold > 0
+            and targets.size < self._coalesce_threshold
+            and k_cap >= 2
+        ):
+            yield from self._drive_group(program, targets, payload, width, k_cap)
+        else:
+            yield from super()._drive_supersteps(
+                program, targets, payload, width
+            )
 
     def _superstep_batch(self, program, targets, payload, proc_rank, width):
         if not self._mp_active:
@@ -578,7 +808,8 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
         for w in range(pool.n_workers):
             mask = worker_of_msg == w
             shards[w] = (targets[mask], payload[mask])
-            pool.send(w, ("step", *shards[w], delays.get(w, 0.0)))
+            blob = pack_message_block(pool.ring_in[w], shards[w])
+            pool.send(w, ("step", blob, delays.get(w, 0.0)))
         parts: dict[int, tuple] = {}
         dead: list[_WorkerDeath] = []
         for w in range(pool.n_workers):
@@ -591,16 +822,28 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
                 death, redrive_shard=shards[death.worker]
             )
 
-        self._replay_log.append((targets, payload, worker_of_msg))
+        self._replay_log.append(("step", targets, payload, worker_of_msg))
+        self._dirty.append(targets[targets >= 0])
         self._superstep_idx = idx
-        if idx - self._ckpt_superstep() >= self.checkpoint_interval:
+        if idx - self._ckpt_step_idx >= self.checkpoint_interval:
             self._take_checkpoint()
 
-        ordered = [parts[w] for w in range(pool.n_workers)]
+        # decode each worker's emission descriptor; the concatenation
+        # copies the ring views before the next command reuses the ring
+        ordered = [
+            unpack_message_block(
+                pool.ring_out[w], parts[w], (1, 1, width)
+            )
+            for w in range(pool.n_workers)
+        ]
+        # width-1 payloads decode 1-D; normalise to (n, width) so
+        # workers with empty shards concatenate with non-empty ones
         return (
             np.concatenate([p[0] for p in ordered]),
             np.concatenate([p[1] for p in ordered]),
-            np.vstack([p[2] for p in ordered]),
+            np.concatenate(
+                [p[2].reshape(-1, width) for p in ordered], axis=0
+            ),
         )
 
     def _phase_end(self, program: VertexProgram) -> None:
@@ -613,15 +856,164 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
             program.mp_merge(self._supervised_collect(w))
 
     # ------------------------------------------------------------------ #
+    # coalesced groups
+    # ------------------------------------------------------------------ #
+    def _drive_group(self, program, targets, payload, width, k_cap):
+        """Run up to ``k_cap`` logical supersteps behind one barrier.
+
+        Every worker executes the *full* inbox chain (replicated
+        execution on state made consistent by :meth:`_sync_dirty`);
+        worker 0 streams each superstep's emission block back so the
+        caller can yield the identical per-superstep accounting tuples
+        an uncoalesced run would produce."""
+        pool = self._pool
+        owner = self.partition.owner
+        start = self._superstep_idx
+        k_eff, threshold, crash_at, delay_at, delay_s = (
+            self._plan_group_faults(start, k_cap)
+        )
+        self._sync_dirty()
+        for w in range(pool.n_workers):
+            blob = pack_message_block(pool.ring_in[w], (targets, payload))
+            pool.send(
+                w,
+                (
+                    "steps",
+                    blob,
+                    k_eff,
+                    threshold,
+                    w == 0,
+                    crash_at.get(w),
+                    delay_at.get(w),
+                    delay_s,
+                ),
+            )
+        replies: dict[int, tuple] = {}
+        dead: list[_WorkerDeath] = []
+        for w in range(pool.n_workers):
+            try:
+                replies[w] = pool.recv(w)
+            except _WorkerDeath as death:
+                dead.append(death)
+        for death in dead:
+            replies[death.worker] = self._recover_worker(
+                death,
+                redrive_group=(
+                    targets,
+                    payload,
+                    k_eff,
+                    threshold,
+                    death.worker == 0,
+                ),
+            )
+        self._replay_log.append(("group", targets, payload, k_eff, threshold))
+
+        n, stream = replies[0]
+        # copy=True: the streamed blocks all live in worker 0's ring and
+        # the yielded arrays outlive this barrier
+        steps_out = [
+            unpack_message_block(
+                pool.ring_out[0], blob, (1, 1, width), copy=True
+            )
+            for blob in stream
+        ]
+        assert len(steps_out) == n, (len(steps_out), n)
+        self._superstep_idx = start + n
+        self.coalesced_supersteps += n
+        if self._superstep_idx - self._ckpt_step_idx >= self.checkpoint_interval:
+            self._take_checkpoint()
+
+        in_t, in_p = targets, payload
+        for src_ranks, out_t, out_p in steps_out:
+            is_rank = in_t < 0
+            proc_rank = np.where(
+                is_rank, -in_t - 1, owner[np.maximum(in_t, 0)]
+            )
+            yield in_t, in_p, proc_rank, src_ranks, out_t, out_p
+            in_t, in_p = out_t, out_p
+
+    def _plan_group_faults(self, start: int, k_cap: int):
+        """Size a coalesced group against the fault plan.
+
+        Peeks (without consuming) for the earliest kill/delay scheduled
+        inside ``(start, start + k_cap]``; if one exists the group is
+        truncated to end exactly at that logical superstep, the volume
+        stop is disabled (survivors must deterministically reach the
+        fault point) and only that superstep's actions are consumed —
+        so a mid-group fault fires at its exact logical superstep, just
+        as it would uncoalesced."""
+        plan = self.fault_plan
+        crash_at: dict[int, int] = {}
+        delay_at: dict[int, int] = {}
+        delay_s = 0.0
+        if plan is None:
+            return k_cap, self._coalesce_threshold, crash_at, delay_at, delay_s
+        hit = None
+        for s in range(start + 1, start + k_cap + 1):
+            if plan.peek(
+                "kill_worker", phase=self._phase_name, superstep=s
+            ) or plan.peek(
+                "delay_worker", phase=self._phase_name, superstep=s
+            ):
+                hit = s
+                break
+        if hit is None:
+            return k_cap, self._coalesce_threshold, crash_at, delay_at, delay_s
+        k_eff = hit - start
+        for act in plan.take(
+            "kill_worker", phase=self._phase_name, superstep=hit
+        ):
+            crash_at[(act.worker or 0) % self._pool.n_workers] = k_eff - 1
+        for act in plan.take(
+            "delay_worker", phase=self._phase_name, superstep=hit
+        ):
+            delay_at[(act.worker or 0) % self._pool.n_workers] = k_eff - 1
+            delay_s = act.delay_s
+        return k_eff, 0, crash_at, delay_at, delay_s
+
+    def _sync_dirty(self) -> None:
+        """Make every replica's state authoritative before a group.
+
+        Gathers from each owner the state deltas of every vertex
+        written by sharded supersteps since the last sync, logs the
+        deltas (replay must reproduce the restore), and broadcasts to
+        each worker the *other* workers' deltas (a worker already holds
+        its own writes; re-merging them must not be assumed idempotent
+        — e.g. edge lists)."""
+        pool = self._pool
+        nonempty = [d for d in self._dirty if d.size]
+        self._dirty = []
+        if not nonempty:
+            return
+        dirty = np.unique(np.concatenate(nonempty))
+        worker_of = pool.rank_worker[self.partition.owner[dirty]]
+        subsets = {w: dirty[worker_of == w] for w in range(pool.n_workers)}
+        for w in range(pool.n_workers):
+            pool.send(w, ("collect_subset", subsets[w]))
+        deltas = {
+            w: self._supervised_collect(w, command=("collect_subset", subsets[w]))
+            for w in range(pool.n_workers)
+        }
+        # log before broadcasting: a worker that dies mid-restore is
+        # recovered by replaying the log, which must include this sync
+        self._replay_log.append(("sync", deltas))
+        for w in range(pool.n_workers):
+            others = [deltas[u] for u in range(pool.n_workers) if u != w]
+            pool.send(w, ("restore", others))
+        for w in range(pool.n_workers):
+            try:
+                pool.recv(w)
+            except _WorkerDeath as death:
+                self._recover_worker(death)
+
+    # ------------------------------------------------------------------ #
     # supervision internals
     # ------------------------------------------------------------------ #
-    def _ckpt_superstep(self) -> int:
-        """Superstep the current checkpoint/replay-log covers up to."""
-        return self._superstep_idx - len(self._replay_log)
-
     def _inject_faults(self, superstep: int) -> dict[int, float]:
         """Fire the plan's kill/delay actions scheduled for this
-        superstep; returns per-worker injected delays."""
+        superstep (sharded path; coalesced groups plan theirs via
+        :meth:`_plan_group_faults`); returns per-worker injected
+        delays."""
         plan, pool = self.fault_plan, self._pool
         delays: dict[int, float] = {}
         if plan is None:
@@ -640,16 +1032,17 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
     def _take_checkpoint(self) -> None:
         """Snapshot every worker's owned-vertex state and clear the
         replay log (recovery then re-drives at most
-        ``checkpoint_interval`` supersteps)."""
+        ``checkpoint_interval`` logical supersteps)."""
         pool = self._pool
         for w in range(pool.n_workers):
             pool.send(w, ("collect",))
         state = {w: self._supervised_collect(w) for w in range(pool.n_workers)}
         self._ckpt_state = state
+        self._ckpt_step_idx = self._superstep_idx
         self._replay_log = []
 
-    def _supervised_collect(self, w: int):
-        """Receive worker ``w``'s pending ``collect`` reply, recovering
+    def _supervised_collect(self, w: int, command: tuple = ("collect",)):
+        """Receive worker ``w``'s pending collect reply, recovering
         (and re-asking) if the worker died — a crash during collect
         loses since-checkpoint state, so it is rebuilt first."""
         pool = self._pool
@@ -658,20 +1051,26 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
                 return pool.recv(w)
             except _WorkerDeath as death:
                 self._recover_worker(death)
-                pool.send(w, ("collect",))
+                pool.send(w, command)
 
-    def _recover_worker(self, death: _WorkerDeath, *, redrive_shard=None):
+    def _recover_worker(
+        self, death: _WorkerDeath, *, redrive_shard=None, redrive_group=None
+    ):
         """Respawn a dead/hung worker and re-drive it to the cluster's
-        current superstep.
+        current logical superstep.
 
-        Restore sequence: fresh fork → phase-start snapshot
-        (``mp_materialize``) → last checkpoint (``mp_merge`` of its own
-        collect) → replay of every logged superstep shard (emissions
-        discarded — the cluster consumed the originals) → optionally
-        the *current* superstep, whose emissions are returned.  Every
-        step is a deterministic function of restored state, so the
-        returned emissions are bit-identical to what the dead worker
-        would have produced.  Raises
+        Restore sequence: fresh fork (same inherited rings) →
+        phase-start snapshot (``mp_materialize``) → the **union** of
+        all workers' last checkpoints (``mp_merge``; replaying a
+        coalesced group needs the full synced state) → replay of every
+        logged entry — sharded step shards, state syncs, whole
+        coalesced groups — with emissions discarded (the cluster
+        consumed the originals) and arrays shipped raw (old ring
+        offsets are stale) → optionally the *current* step or group,
+        whose reply descriptor is returned for the caller to decode.
+        Every entry is a deterministic function of restored state, so
+        the returned emissions are bit-identical to what the dead
+        worker would have produced.  Raises
         :class:`~repro.errors.WorkerCrashError` once the phase's
         restart budget is spent.
         """
@@ -696,20 +1095,82 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
             try:
                 pool.respawn(w)
                 pool.call(w, ("phase", *self._phase_payload))
-                if w in self._ckpt_state:
-                    pool.call(w, ("restore", self._ckpt_state[w]))
-                for targets, payload, worker_of_msg in self._replay_log:
-                    mask = worker_of_msg == w
+                if self._ckpt_state:
                     pool.call(
-                        w, ("step", targets[mask], payload[mask], 0.0)
+                        w,
+                        (
+                            "restore",
+                            [
+                                self._ckpt_state[u]
+                                for u in range(pool.n_workers)
+                            ],
+                        ),
                     )
-                    self.replayed_supersteps += 1
+                for entry in self._replay_log:
+                    kind = entry[0]
+                    if kind == "step":
+                        _, targets, payload, worker_of_msg = entry
+                        mask = worker_of_msg == w
+                        pool.call(
+                            w,
+                            (
+                                "step",
+                                ("raw", targets[mask], payload[mask]),
+                                0.0,
+                            ),
+                        )
+                        self.replayed_supersteps += 1
+                    elif kind == "sync":
+                        deltas = entry[1]
+                        pool.call(
+                            w,
+                            (
+                                "restore",
+                                [
+                                    deltas[u]
+                                    for u in range(pool.n_workers)
+                                    if u != w
+                                ],
+                            ),
+                        )
+                    else:  # "group"
+                        _, targets, payload, k_eff, thr = entry
+                        n_steps, _ = pool.call(
+                            w,
+                            (
+                                "steps",
+                                ("raw", targets, payload),
+                                k_eff,
+                                thr,
+                                False,
+                                None,
+                                None,
+                                0.0,
+                            ),
+                        )
+                        self.replayed_supersteps += n_steps
                 emissions = None
                 if redrive_shard is not None:
                     emissions = pool.call(
-                        w, ("step", *redrive_shard, 0.0)
+                        w, ("step", ("raw", *redrive_shard), 0.0)
                     )
                     self.replayed_supersteps += 1
+                elif redrive_group is not None:
+                    targets, payload, k_eff, thr, want_stream = redrive_group
+                    emissions = pool.call(
+                        w,
+                        (
+                            "steps",
+                            ("raw", targets, payload),
+                            k_eff,
+                            thr,
+                            want_stream,
+                            None,
+                            None,
+                            0.0,
+                        ),
+                    )
+                    self.replayed_supersteps += emissions[0]
                 self.recovery_wall_s += time.perf_counter() - t0  # repro: ignore[REP103]
                 return emissions
             except _WorkerDeath as again:
@@ -721,9 +1182,9 @@ class BSPMultiprocessEngine(BSPBatchedEngine):
     # ------------------------------------------------------------------ #
     def close(self) -> None:
         """Shut the worker pool down (idempotent; the solver calls this
-        in a ``finally``, so exceptions never leak processes — and the
-        pool's ``terminate`` → ``kill`` escalation means even a wedged
-        child cannot stall exit)."""
+        in a ``finally``, so exceptions never leak processes or shared-
+        memory segments — and the pool's ``terminate`` → ``kill``
+        escalation means even a wedged child cannot stall exit)."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None

@@ -12,9 +12,10 @@ Contract
 An engine is built by a registered factory
 ``(partition, machine=None, discipline=..., *, aggregate_remote=False,
 workers=None, checkpoint_interval=None, max_restarts=None,
-worker_timeout_s=None, fault_plan=None)`` — factories must accept (and
-may ignore) every keyword knob, so a single :func:`make_engine` call
-site serves all engines —
+worker_timeout_s=None, fault_plan=None, shm_transport=None,
+coalesce_threshold=None, coalesce_max=None)`` — factories must accept
+(and may ignore) every keyword knob, so a single :func:`make_engine`
+call site serves all engines —
 and exposes the :class:`~repro.runtime.engine.EngineBase` surface:
 
 * ``run_phase(name, program, initial_messages, *, max_events=None)``
@@ -153,6 +154,13 @@ class EngineResult:
         run and for engines without a pool — and whenever non-zero, the
         results are still bit-identical to the fault-free run (the
         recovery-preserves-parity contract, ``docs/robustness.md``).
+    coalesced_supersteps:
+        How many *logical* supersteps ``bsp-mp`` executed inside
+        coalesced groups (several supersteps behind one barrier,
+        ``docs/engines.md``).  Zero for every other engine and when
+        coalescing never engaged; ``n_supersteps`` always counts
+        logical supersteps regardless, so this records only the
+        physical-barrier savings.
     """
 
     stats: PhaseStats
@@ -163,6 +171,7 @@ class EngineResult:
     restarts: int = 0
     replayed_supersteps: int = 0
     recovery_wall_s: float = 0.0
+    coalesced_supersteps: int = 0
 
 
 def register_engine(
@@ -272,17 +281,22 @@ def make_engine(
     max_restarts: Optional[int] = None,
     worker_timeout_s: Optional[float] = None,
     fault_plan: "FaultPlan | None" = None,
+    shm_transport: Optional[bool] = None,
+    coalesce_threshold: Optional[int] = None,
+    coalesce_max: Optional[int] = None,
 ) -> EngineBase:
     """Instantiate the named engine over a partitioned graph.
 
     ``workers`` sizes ``bsp-mp``'s process pool (``None`` = its
     reproducible default); ``checkpoint_interval`` / ``max_restarts`` /
     ``worker_timeout_s`` / ``fault_plan`` configure its fault-tolerance
-    layer (``None`` = engine defaults; see
+    layer, and ``shm_transport`` / ``coalesce_threshold`` /
+    ``coalesce_max`` its data plane (``None`` = engine defaults; see
     :mod:`repro.runtime.engine_mp`).  The in-process engines accept and
     ignore every pool knob, so callers can thread them unconditionally
     — none of the knobs changes results (the recovery-preserves-parity
-    contract).  The caller owns the returned engine and must
+    and transport-preserves-parity contracts).  The caller owns the
+    returned engine and must
     :meth:`~repro.runtime.engine.EngineBase.close` it when done (a
     no-op for engines without external resources).
     """
@@ -296,6 +310,9 @@ def make_engine(
         max_restarts=max_restarts,
         worker_timeout_s=worker_timeout_s,
         fault_plan=fault_plan,
+        shm_transport=shm_transport,
+        coalesce_threshold=coalesce_threshold,
+        coalesce_max=coalesce_max,
     )
 
 
@@ -340,6 +357,7 @@ def run_phase_with(
         restarts=getattr(engine, "restarts", 0),
         replayed_supersteps=getattr(engine, "replayed_supersteps", 0),
         recovery_wall_s=getattr(engine, "recovery_wall_s", 0.0),
+        coalesced_supersteps=getattr(engine, "coalesced_supersteps", 0),
     )
 
 
@@ -407,6 +425,9 @@ def _async_heap_factory(
     max_restarts: Optional[int] = None,
     worker_timeout_s: Optional[float] = None,
     fault_plan: "FaultPlan | None" = None,
+    shm_transport: Optional[bool] = None,
+    coalesce_threshold: Optional[int] = None,
+    coalesce_max: Optional[int] = None,
 ) -> AsyncEngine:
     return AsyncEngine(
         partition, machine, discipline, aggregate_remote=aggregate_remote
@@ -427,6 +448,9 @@ def _bsp_factory(
     max_restarts: Optional[int] = None,
     worker_timeout_s: Optional[float] = None,
     fault_plan: "FaultPlan | None" = None,
+    shm_transport: Optional[bool] = None,
+    coalesce_threshold: Optional[int] = None,
+    coalesce_max: Optional[int] = None,
 ) -> BSPEngine:
     # aggregation is an async-runtime knob; BSP already models bulk
     # per-superstep delivery, so the flag is accepted and ignored —
@@ -449,6 +473,9 @@ def _bsp_batched_factory(
     max_restarts: Optional[int] = None,
     worker_timeout_s: Optional[float] = None,
     fault_plan: "FaultPlan | None" = None,
+    shm_transport: Optional[bool] = None,
+    coalesce_threshold: Optional[int] = None,
+    coalesce_max: Optional[int] = None,
 ) -> BSPBatchedEngine:
     return BSPBatchedEngine(partition, machine, discipline)
 
@@ -468,6 +495,9 @@ def _bsp_mp_factory(
     max_restarts: Optional[int] = None,
     worker_timeout_s: Optional[float] = None,
     fault_plan: "FaultPlan | None" = None,
+    shm_transport: Optional[bool] = None,
+    coalesce_threshold: Optional[int] = None,
+    coalesce_max: Optional[int] = None,
 ) -> BSPMultiprocessEngine:
     return BSPMultiprocessEngine(
         partition,
@@ -478,6 +508,9 @@ def _bsp_mp_factory(
         max_restarts=max_restarts,
         worker_timeout_s=worker_timeout_s,
         fault_plan=fault_plan,
+        shm_transport=shm_transport,
+        coalesce_threshold=coalesce_threshold,
+        coalesce_max=coalesce_max,
     )
 
 
@@ -510,6 +543,9 @@ def _register_bsp_native() -> None:
         max_restarts: Optional[int] = None,
         worker_timeout_s: Optional[float] = None,
         fault_plan: "FaultPlan | None" = None,
+        shm_transport: Optional[bool] = None,
+        coalesce_threshold: Optional[int] = None,
+        coalesce_max: Optional[int] = None,
     ) -> EngineBase:
         from repro.runtime.engine_native import BSPNativeEngine
 

@@ -1,0 +1,195 @@
+"""Shared-memory message transport for the ``bsp-mp`` engine.
+
+Per-superstep inbox shards and worker emissions are flat ``int64``
+arrays.  Pickling them through a pipe costs a copy on each side plus
+the pickle framing per superstep — the dominant IPC cost on
+many-tiny-superstep graphs.  This module replaces the array *bytes*
+with a :class:`ShmRing` per direction: the writer packs the arrays
+into a ``multiprocessing.shared_memory`` segment and sends only a
+small ``("shm", offset, rows, cols)`` descriptor over the pipe; the
+reader reconstructs zero-copy ``np.ndarray`` views.
+
+Layout
+------
+A ring is one ``int64`` array of ``capacity_bytes // 8`` slots with a
+monotonically advancing ``head``.  One *block* is a C-contiguous
+``(rows, cols)`` submatrix starting at ``offset``; a message batch of
+``k`` logical arrays (widths ``w_0..w_{k-1}``) is packed column-wise
+into a single block of ``cols = sum(w_i)``, so the reader recovers
+each array as a strided column view of the same block.  Descriptors
+are self-describing — ``(offset, rows, cols)`` fully locates a block —
+so a reader never needs the writer's head, and a respawned writer can
+restart its head at zero without corrupting in-flight reads (the
+protocol is strict request/reply: a block is consumed before the next
+one is written over it).
+
+Fallback
+--------
+Every pack degrades to a ``("raw", *arrays)`` pickled descriptor when
+the ring is absent (``shared_memory`` unavailable, transport disabled)
+or the batch does not fit; :func:`unpack_message_block` accepts both
+forms, so the pickled path stays the parity reference and the shm path
+needs no size guarantees.  Bit-equality of the two forms is pinned by
+``tests/test_shm_transport.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SHM_AVAILABLE",
+    "ShmRing",
+    "pack_message_block",
+    "unpack_message_block",
+]
+
+try:  # pragma: no cover - import guard, both sides exercised in CI
+    from multiprocessing import shared_memory as _shared_memory
+
+    SHM_AVAILABLE = True
+except ImportError:  # pragma: no cover
+    _shared_memory = None  # type: ignore[assignment]
+    SHM_AVAILABLE = False
+
+#: descriptor tags: a block living in the ring vs pickled-through arrays
+_TAG_SHM = "shm"
+_TAG_RAW = "raw"
+
+
+class ShmRing:
+    """A single-writer ``int64`` ring over one shared-memory segment.
+
+    The writer (parent for inbox rings, worker for emission rings)
+    advances ``head`` with each :meth:`reserve`; the reader only ever
+    maps descriptors through :meth:`view`.  There is no free-list: the
+    request/reply lockstep of the engine protocol guarantees a block is
+    fully consumed (or copied) before the writer can wrap over it.
+    """
+
+    __slots__ = ("_shm", "_arr", "nslots", "_head")
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if not SHM_AVAILABLE:  # pragma: no cover - guarded by callers
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        if capacity_bytes < 8:
+            raise ValueError("capacity_bytes must be >= 8")
+        self.nslots = int(capacity_bytes) // 8
+        self._shm = _shared_memory.SharedMemory(
+            create=True, size=self.nslots * 8
+        )
+        self._arr: Optional[np.ndarray] = np.frombuffer(
+            self._shm.buf, dtype=np.int64
+        )
+        self._head = 0
+
+    # ------------------------------------------------------------------ #
+    def reserve(
+        self, n_rows: int, n_cols: int, *, wrap: bool = True
+    ) -> Optional[Tuple[int, np.ndarray]]:
+        """Claim a ``(n_rows, n_cols)`` block; returns ``(offset, view)``
+        or ``None`` when the block cannot fit (caller falls back to the
+        pickled path).  ``wrap=False`` refuses to rewind ``head`` —
+        used when several blocks of one reply must stay live at once."""
+        need = int(n_rows) * int(n_cols)
+        if self._arr is None or need > self.nslots:
+            return None
+        if self._head + need > self.nslots:
+            if not wrap:
+                return None
+            self._head = 0
+        offset = self._head
+        self._head = offset + need
+        view = self._arr[offset : offset + need].reshape(n_rows, n_cols)
+        return offset, view
+
+    def view(self, offset: int, n_rows: int, n_cols: int) -> np.ndarray:
+        """Zero-copy ``(n_rows, n_cols)`` view of a packed block."""
+        assert self._arr is not None, "ring is closed"
+        need = int(n_rows) * int(n_cols)
+        return self._arr[offset : offset + need].reshape(n_rows, n_cols)
+
+    def rewind(self) -> None:
+        """Reset ``head`` to zero (start of a multi-block reply)."""
+        self._head = 0
+
+    def close(self, *, unlink: bool = False) -> None:
+        """Detach from the segment; ``unlink=True`` (owner only)
+        destroys it.  Idempotent."""
+        # drop the exported ndarray first or SharedMemory.close() raises
+        # BufferError for the outstanding memoryview
+        self._arr = None
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - interpreter-dependent
+            pass
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+# --------------------------------------------------------------------- #
+# descriptor pack / unpack
+# --------------------------------------------------------------------- #
+def pack_message_block(
+    ring: Optional[ShmRing],
+    arrays: Sequence[np.ndarray],
+    *,
+    wrap: bool = True,
+) -> tuple:
+    """Pack equal-length ``int64`` arrays (1-D or 2-D) into one ring
+    block, returning the ``("shm", offset, rows, cols)`` descriptor —
+    or the pickled ``("raw", *arrays)`` fallback when ``ring`` is
+    ``None`` or the block does not fit."""
+    if ring is None:
+        return (_TAG_RAW, *arrays)
+    rows = int(arrays[0].shape[0])
+    widths = [1 if a.ndim == 1 else int(a.shape[1]) for a in arrays]
+    cols = sum(widths)
+    reserved = ring.reserve(rows, cols, wrap=wrap)
+    if reserved is None:
+        return (_TAG_RAW, *arrays)
+    offset, block = reserved
+    c = 0
+    for a, w in zip(arrays, widths):
+        if a.ndim == 1:
+            block[:, c] = a
+        else:
+            block[:, c : c + w] = a
+        c += w
+    return (_TAG_SHM, offset, rows, cols)
+
+
+def unpack_message_block(
+    ring: Optional[ShmRing],
+    blob: tuple,
+    widths: Sequence[int],
+    *,
+    copy: bool = False,
+) -> tuple:
+    """Decode a descriptor back into its arrays.
+
+    ``widths`` gives each logical array's column count (``1`` yields a
+    1-D array, matching what was packed).  Shm descriptors return
+    column *views* of the ring block — pass ``copy=True`` when the
+    arrays must outlive the block (e.g. a streamed multi-block reply
+    decoded after further writes).  Raw descriptors pass the pickled
+    arrays through untouched.
+    """
+    if blob[0] == _TAG_RAW:
+        return tuple(blob[1:])
+    tag, offset, rows, cols = blob
+    assert tag == _TAG_SHM and cols == sum(widths), blob
+    assert ring is not None, "shm descriptor without a ring"
+    block = ring.view(offset, rows, cols)
+    out = []
+    c = 0
+    for w in widths:
+        a = block[:, c] if w == 1 else block[:, c : c + w]
+        out.append(a.copy() if copy else a)
+        c += w
+    return tuple(out)

@@ -11,7 +11,9 @@ class PartialProgram:  # REP401 line 5: clone_payload/materialize, no collect/me
         return cls()
 
 
-class CompleteProgram:  # ok: all four hooks
+class CompleteProgram:  # ok: all four hooks + literal width (REP402)
+    batch_payload_width = 1
+
     def mp_clone_payload(self):
         return {}
 

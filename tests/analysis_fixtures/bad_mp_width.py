@@ -1,0 +1,66 @@
+# Known-bad fixture for REP402 (mp program without a literal width).
+# Line numbers are asserted by tests/test_analysis.py — append only.
+
+
+class WidthlessProgram:  # REP402 line 5: full protocol, no width at all
+    def mp_clone_payload(self):
+        return {}
+
+    @classmethod
+    def mp_materialize(cls, payload):
+        return cls()
+
+    def mp_collect(self):
+        return {}
+
+    def mp_merge(self, parts):
+        return None
+
+
+class ComputedWidthProgram:  # REP402 line 20: width is an expression
+    batch_payload_width = 1 + 2
+
+    def mp_clone_payload(self):
+        return {}
+
+    @classmethod
+    def mp_materialize(cls, payload):
+        return cls()
+
+    def mp_collect(self):
+        return {}
+
+    def mp_merge(self, parts):
+        return None
+
+
+class LiteralWidthProgram:  # ok: full protocol + literal int width
+    batch_payload_width = 3
+
+    def mp_clone_payload(self):
+        return {}
+
+    @classmethod
+    def mp_materialize(cls, payload):
+        return cls()
+
+    def mp_collect(self):
+        return {}
+
+    def mp_merge(self, parts):
+        return None
+
+
+class DerivedProgram(LiteralWidthProgram):  # ok: width inherited via base
+    def mp_clone_payload(self):
+        return {}
+
+    @classmethod
+    def mp_materialize(cls, payload):
+        return cls()
+
+    def mp_collect(self):
+        return {}
+
+    def mp_merge(self, parts):
+        return None

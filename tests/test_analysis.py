@@ -47,9 +47,11 @@ ALL_RULE_IDS = {
     "REP301",
     "REP302",
     "REP401",
+    "REP402",
     "REP501",
     "REP502",
     "REP503",
+    "REP504",
 }
 
 
@@ -108,6 +110,12 @@ class TestFixtures:
         assert _pairs(findings) == [("REP401", 5)]
         assert "mp_collect" in findings[0].message
         assert "mp_merge" in findings[0].message
+
+    def test_mp_width_fixture(self):
+        findings = _check_fixture("bad_mp_width.py")
+        assert _pairs(findings) == [("REP402", 5), ("REP402", 20)]
+        assert "never assigns" in findings[0].message
+        assert "computes rather than pins" in findings[1].message
 
     def test_fixture_dir_is_never_scanned_by_default(self):
         # The deliberately-bad fixtures must not fail a normal run over
@@ -171,6 +179,7 @@ class TestReport:
         assert counts["REP301"] == 1
         assert counts["REP302"] == 2
         assert counts["REP401"] == 1
+        assert counts["REP402"] == 2
         # suppressed findings are recorded but never counted
         assert sum(1 for f in report.findings if f.suppressed) == 2
 
@@ -267,6 +276,23 @@ class TestRegistryContracts:
         assert "_broken" in findings[0].message
         assert "run_phase" in findings[0].message
 
+    def test_shm_round_trip_probe_clean(self):
+        from repro.analysis.rules_mp import check_shm_round_trip
+
+        assert list(check_shm_round_trip()) == []
+
+    def test_unusable_width_is_rep504(self, monkeypatch):
+        from repro.analysis.rules_mp import check_shm_round_trip
+        from repro.core import voronoi_visitor
+
+        monkeypatch.setattr(
+            voronoi_visitor.VoronoiProgram, "batch_payload_width", 0
+        )
+        findings = list(check_shm_round_trip())
+        assert [f.rule for f in findings] == ["REP504"]
+        assert "VoronoiProgram" in findings[0].message
+        assert findings[0].path.endswith("voronoi_visitor.py")
+
     def test_broken_backend_is_rep502(self, monkeypatch):
         from repro.shortest_paths import backends as backends_mod
 
@@ -293,6 +319,9 @@ class TestFingerprintExclusionRegression:
         "max_restarts",
         "worker_timeout_s",
         "fault_plan",
+        "shm_transport",
+        "coalesce_threshold",
+        "coalesce_max",
     }
 
     def test_exclusion_set_is_exactly_pinned(self):
@@ -317,6 +346,9 @@ class TestFingerprintExclusionRegression:
             checkpoint_interval=7,
             max_restarts=5,
             worker_timeout_s=42.0,
+            shm_transport=False,
+            coalesce_threshold=1,
+            coalesce_max=1,
         )
         assert base.fingerprint() == tweaked.fingerprint()
 

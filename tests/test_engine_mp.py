@@ -30,9 +30,9 @@ from repro.runtime.engine_batched import BSPBatchedEngine
 from repro.runtime.engine_mp import (
     DEFAULT_WORKERS,
     BSPMultiprocessEngine,
-    fork_available,
     supports_mp,
 )
+from repro.runtime.shm_transport import SHM_AVAILABLE
 from repro.runtime.engines import (
     available_engines,
     make_engine,
@@ -41,10 +41,16 @@ from repro.runtime.engines import (
 from repro.runtime.partition import block_partition
 from tests.conftest import component_seeds, make_connected_graph
 
-WORKER_COUNTS = (1, 2, 4)
-
-needs_fork = pytest.mark.skipif(
-    not fork_available(), reason="platform lacks the fork start method"
+# the canonical parity helpers and matrix axes live in the cross-engine
+# conformance harness; this module adds the bsp-mp-specific suites
+# (fallback rules, pool hygiene, provenance) on top of them
+from tests.test_engine_conformance import (
+    COUNTERS as _COUNTERS,
+)
+from tests.test_engine_conformance import (
+    WORKER_COUNTS,
+    assert_counts_identical,
+    needs_fork,
 )
 
 PROPERTY = settings(
@@ -52,22 +58,6 @@ PROPERTY = settings(
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
-
-_COUNTERS = (
-    "n_visits",
-    "n_messages_local",
-    "n_messages_remote",
-    "bytes_sent",
-    "peak_queue_total",
-)
-
-
-def assert_counts_identical(ref_stats, mp_stats, ref_engine, mp_engine):
-    """The full bit-identical-counters contract for one phase."""
-    for attr in _COUNTERS:
-        assert getattr(ref_stats, attr) == getattr(mp_stats, attr), attr
-    assert ref_engine.n_supersteps == mp_engine.n_supersteps
-    assert mp_stats.sim_time == pytest.approx(ref_stats.sim_time, rel=1e-9)
 
 
 def run_voronoi(engine, partition, seeds):
@@ -161,6 +151,34 @@ class TestParity:
         assert np.array_equal(ref_prog.src, mp_prog.src)
         assert np.array_equal(ref_prog.dist, mp_prog.dist)
         assert_counts_identical(ref_stats, mp_stats, ref_engine, mp_engine)
+
+    @pytest.mark.parametrize("shm", [True, False], ids=["shm", "pickle"])
+    def test_sharded_width1_emissions(self, random_graph, shm):
+        """Regression: with coalescing disabled, the *sharded* path must
+        merge width-1 emission payloads (TreeEdgeProgram) across workers
+        even when one worker's shard emits nothing — the shm decode
+        returns them 1-D and a plain vstack used to crash on the length
+        mismatch."""
+        if shm and not SHM_AVAILABLE:
+            pytest.skip("no multiprocessing.shared_memory")
+        seeds = component_seeds(random_graph, 5, seed=24)
+        ref = DistributedSteinerSolver(
+            random_graph, SolverConfig(n_ranks=6, engine="bsp-batched")
+        ).solve(seeds)
+        mp = DistributedSteinerSolver(
+            random_graph,
+            SolverConfig(
+                n_ranks=6,
+                engine="bsp-mp",
+                workers=2,
+                shm_transport=shm,
+                coalesce_max=1,
+            ),
+        ).solve(seeds)
+        assert np.array_equal(ref.edges, mp.edges)
+        for p_ref, p_mp in zip(ref.phases, mp.phases):
+            for attr in _COUNTERS:
+                assert getattr(p_ref, attr) == getattr(p_mp, attr)
 
     def test_pool_reused_across_phases(self, random_graph):
         """One solve runs phases 1 and 6 on the same engine; the pool

@@ -22,7 +22,6 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import SolverConfig
-from repro.core.solver import DistributedSteinerSolver
 from repro.core.voronoi_visitor import VoronoiProgram
 from repro.graph.csr import CSRGraph
 from repro.runtime.engine import AsyncEngine, BSPEngine
@@ -39,6 +38,7 @@ from repro.runtime.engines import (
 )
 from repro.runtime.partition import block_partition, hash_partition
 from tests.conftest import component_seeds, make_connected_graph
+from tests.test_engine_conformance import assert_conformance, solve_with
 
 ENGINES = ("async-heap", "bsp", "bsp-batched")
 
@@ -95,38 +95,13 @@ def partitioned_instance(draw, max_vertices=22, max_weight=8):
     return graph, sorted(seeds), n_ranks, partition_fn, delegate_threshold
 
 
-def solve_with(graph, seeds, engine, n_ranks=6, **cfg):
-    return DistributedSteinerSolver(
-        graph, SolverConfig(n_ranks=n_ranks, engine=engine, **cfg)
-    ).solve(seeds)
-
-
 def assert_engine_parity(graph, seeds, n_ranks=6, **cfg):
-    """The full cross-engine contract on one solver instance."""
-    results = {
-        engine: solve_with(graph, seeds, engine, n_ranks=n_ranks, **cfg)
-        for engine in ENGINES
-    }
-    ref = results["async-heap"]
-    for engine, res in results.items():
-        # identical tree: same edge triples, same total weight
-        assert np.array_equal(ref.edges, res.edges), engine
-        assert ref.total_distance == res.total_distance, engine
-    bsp, batched = results["bsp"], results["bsp-batched"]
-    for p_ref, p_bat in zip(bsp.phases, batched.phases):
-        # the BSP pair executes identical supersteps: exact counters
-        assert p_ref.n_messages_local == p_bat.n_messages_local, p_ref.name
-        assert p_ref.n_messages_remote == p_bat.n_messages_remote, p_ref.name
-        assert p_ref.n_visits == p_bat.n_visits, p_ref.name
-        assert p_ref.peak_queue_total == p_bat.peak_queue_total, p_ref.name
-        assert p_ref.bytes_sent == p_bat.bytes_sent, p_ref.name
-        assert p_ref.sim_time == pytest.approx(p_bat.sim_time, rel=1e-9)
-    # the tree-edge walk phase is order-independent, so its counts agree
-    # across every engine (the Voronoi phase's counts are legitimately
-    # schedule-dependent — the paper's own Fig. 5/6 effect)
-    walk = [res.phases[5] for res in results.values()]
-    assert len({(p.n_messages_local, p.n_messages_remote) for p in walk}) == 1
-    return results
+    """The full cross-engine contract on one solver instance — routed
+    through the canonical harness (``tests/test_engine_conformance.py``)
+    restricted to the in-process trio this module focuses on."""
+    return assert_conformance(
+        graph, seeds, n_ranks=n_ranks, engines=ENGINES, **cfg
+    )
 
 
 class TestEngineParity:

@@ -286,6 +286,157 @@ class TestKillRecoveryParity:
 
 
 # --------------------------------------------------------------------- #
+# bsp-mp: shm transport and coalesced groups under fire
+# --------------------------------------------------------------------- #
+@needs_fork
+class TestShmAndCoalescingChaos:
+    """PR-10 extensions of the recovery-preserves-parity contract: the
+    kill-at-every-superstep sweep holds on the shared-memory data plane
+    (descriptors into respawned rings, union checkpoint restore) and
+    across coalesced superstep groups (a crash mid-group truncates the
+    group at the fault and replays to identical logical counters)."""
+
+    GROUPED = dict(coalesce_threshold=4096, coalesce_max=4)
+
+    def _chain(self):
+        # a long path: tiny inboxes every superstep, so coalescing is
+        # engaged for essentially the whole phase
+        graph = grid_graph(1, 28)
+        part = block_partition(graph, 6)
+        seeds = np.asarray([0, 27])
+        return part, seeds
+
+    @pytest.mark.parametrize("shm", [True, False], ids=["shm", "pickle"])
+    def test_kill_sweep_grouped_supersteps(self, shm):
+        """Kill each worker at every superstep of a heavily coalesced
+        run, on both transports: bit-identical arrays and counters."""
+        from repro.runtime.shm_transport import SHM_AVAILABLE
+
+        if shm and not SHM_AVAILABLE:
+            pytest.skip("multiprocessing.shared_memory unavailable")
+        part, seeds = self._chain()
+        ref_engine = BSPMultiprocessEngine(
+            part, workers=2, shm_transport=shm, **self.GROUPED
+        )
+        ref_prog, ref_stats = run_voronoi(ref_engine, part, seeds)
+        n_steps = ref_engine.n_supersteps
+        assert ref_engine.coalesced_supersteps > 0  # groups actually ran
+
+        for worker in (0, 1):
+            for superstep in range(1, n_steps + 1):
+                engine = BSPMultiprocessEngine(
+                    part,
+                    workers=2,
+                    shm_transport=shm,
+                    checkpoint_interval=3,
+                    fault_plan=FaultPlan.kill(worker=worker, superstep=superstep),
+                    **self.GROUPED,
+                )
+                prog, stats = run_voronoi(engine, part, seeds)
+                label = f"kill w{worker} @ s{superstep} shm={shm}"
+                assert engine.restarts == 1, label
+                assert engine.n_supersteps == n_steps, label
+                assert np.array_equal(ref_prog.src, prog.src), label
+                assert np.array_equal(ref_prog.dist, prog.dist), label
+                assert stat_tuple(stats) == stat_tuple(ref_stats), label
+
+    def test_crash_mid_group_replays_to_identical_counters(self):
+        """The coalescing × checkpoint interaction: with groups of up to
+        8 supersteps and a checkpoint every 8, a kill landing mid-group
+        truncates the group at the fault, recovers from the checkpoint
+        and replays — logical counters and provenance superstep count
+        stay bit-identical to the fault-free grouped run."""
+        part, seeds = self._chain()
+        ref_engine = BSPMultiprocessEngine(
+            part, workers=2, coalesce_threshold=4096, coalesce_max=8
+        )
+        ref_prog, ref_stats = run_voronoi(ref_engine, part, seeds)
+        engine = BSPMultiprocessEngine(
+            part,
+            workers=2,
+            coalesce_threshold=4096,
+            coalesce_max=8,
+            checkpoint_interval=8,
+            fault_plan=FaultPlan.kill(worker=1, superstep=5),
+        )
+        prog, stats = run_voronoi(engine, part, seeds)
+        assert engine.restarts == 1
+        assert 1 <= engine.replayed_supersteps <= 8
+        assert engine.coalesced_supersteps > 0
+        assert engine.n_supersteps == ref_engine.n_supersteps
+        assert np.array_equal(ref_prog.dist, prog.dist)
+        assert stat_tuple(stats) == stat_tuple(ref_stats)
+
+    def test_groups_never_straddle_checkpoints(self):
+        """The replay bound survives coalescing: a group is capped at
+        the next checkpoint boundary, so recovery still re-drives at
+        most ``checkpoint_interval`` supersteps."""
+        part, seeds = self._chain()
+        engine = BSPMultiprocessEngine(
+            part,
+            workers=2,
+            coalesce_threshold=4096,
+            coalesce_max=8,
+            checkpoint_interval=2,
+            fault_plan=FaultPlan.kill(worker=0, superstep=5),
+        )
+        run_voronoi(engine, part, seeds)
+        assert engine.restarts == 1
+        assert 1 <= engine.replayed_supersteps <= 2
+
+    def test_hung_worker_mid_group_recovers(self):
+        """A delay fault inside a would-be group trips the heartbeat;
+        the group is truncated at the fault and recovery preserves
+        parity, same as the barriered path."""
+        part, seeds = self._chain()
+        ref_prog, ref_stats = run_voronoi(
+            BSPMultiprocessEngine(part, workers=2, **self.GROUPED), part, seeds
+        )
+        plan = FaultPlan(
+            [FaultAction("delay_worker", worker=0, superstep=3, delay_s=5.0)]
+        )
+        engine = BSPMultiprocessEngine(
+            part,
+            workers=2,
+            worker_timeout_s=0.3,
+            fault_plan=plan,
+            **self.GROUPED,
+        )
+        prog, stats = run_voronoi(engine, part, seeds)
+        assert engine.restarts == 1
+        assert np.array_equal(ref_prog.dist, prog.dist)
+        assert stat_tuple(stats) == stat_tuple(ref_stats)
+
+    def test_solver_provenance_with_coalesced_recovery(self):
+        """Full-solve surface: recovery inside coalesced groups records
+        both ``fault_recovery`` and ``coalesced_supersteps`` while the
+        tree stays bit-identical."""
+        graph = grid_graph(1, 28)
+        seeds = [0, 27]
+        base = SolverConfig(
+            n_ranks=6, engine="bsp-mp", workers=2,
+            coalesce_threshold=4096, coalesce_max=8,
+        )
+        ref = DistributedSteinerSolver(graph, base).solve(seeds)
+        assert ref.provenance["coalesced_supersteps"] > 0
+        faulty = SolverConfig(
+            n_ranks=6,
+            engine="bsp-mp",
+            workers=2,
+            coalesce_threshold=4096,
+            coalesce_max=8,
+            checkpoint_interval=4,
+            fault_plan=FaultPlan.kill(worker=1, superstep=3),
+        )
+        res = DistributedSteinerSolver(graph, faulty).solve(seeds)
+        assert np.array_equal(ref.edges, res.edges)
+        assert res.provenance["fault_recovery"]["restarts"] == 1
+        assert res.provenance["coalesced_supersteps"] > 0
+        for p_ref, p_res in zip(ref.phases, res.phases):
+            assert stat_tuple(p_ref) == stat_tuple(p_res), p_ref.name
+
+
+# --------------------------------------------------------------------- #
 # serve: deadlines, shedding, retry, drain, dropped clients
 # --------------------------------------------------------------------- #
 class _BlockingCache:

@@ -51,19 +51,14 @@ from repro.shortest_paths.native import compute_voronoi_cells_delta_numba
 from repro.shortest_paths.vectorized import compute_voronoi_cells_delta_numpy
 from tests.conftest import component_seeds, make_connected_graph
 
+# the counter list is owned by the cross-engine conformance harness —
+# one definition of "bit-for-bit across the BSP family" in the tree
+from tests.test_engine_conformance import COUNTERS
+
 PROPERTY = settings(
     max_examples=25,
     deadline=None,
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
-)
-
-#: the engine counters that must match bit-for-bit across the BSP family
-COUNTERS = (
-    "n_visits",
-    "n_messages_local",
-    "n_messages_remote",
-    "bytes_sent",
-    "peak_queue_total",
 )
 
 

@@ -1,0 +1,223 @@
+"""Property tests for the shared-memory transport (``shm_transport``).
+
+The transport's whole contract is *byte-level fidelity*: whatever the
+pickled pipe path would have delivered, the ring path must deliver
+bit-identically — under wraparound, under multi-block streamed replies
+decoded out of order, and under the does-not-fit fallback.  Hypothesis
+drives random emission batches through both paths and compares.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.shm_transport import (
+    SHM_AVAILABLE,
+    ShmRing,
+    pack_message_block,
+    unpack_message_block,
+)
+
+pytestmark = pytest.mark.skipif(
+    not SHM_AVAILABLE, reason="multiprocessing.shared_memory unavailable"
+)
+
+PROPERTY = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def emission_batch(draw, max_rows=40, max_width=4):
+    """A random message batch shaped like one superstep's emissions:
+    a few 1-D arrays (src ranks, targets) plus a 2-D payload block."""
+    rows = draw(st.integers(min_value=0, max_value=max_rows))
+    width = draw(st.integers(min_value=1, max_value=max_width))
+    ints = st.integers(min_value=-(2**62), max_value=2**62)
+    src = np.asarray(
+        draw(st.lists(ints, min_size=rows, max_size=rows)), dtype=np.int64
+    )
+    targets = np.asarray(
+        draw(st.lists(ints, min_size=rows, max_size=rows)), dtype=np.int64
+    )
+    payload = np.asarray(
+        draw(
+            st.lists(
+                st.lists(ints, min_size=width, max_size=width),
+                min_size=rows,
+                max_size=rows,
+            )
+        ),
+        dtype=np.int64,
+    ).reshape(rows, width)
+    return src, targets, payload
+
+
+def widths_of(arrays):
+    return tuple(1 if a.ndim == 1 else a.shape[1] for a in arrays)
+
+
+def assert_batches_equal(got, want):
+    """Value equality under the transport's shape contract: a width-1
+    column always decodes 1-D, so an ``(n, 1)`` input legitimately
+    comes back as ``(n,)`` — same bytes, flattened."""
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert a.dtype == np.int64
+        assert np.array_equal(a.reshape(b.shape), b)
+
+
+@pytest.fixture
+def ring():
+    r = ShmRing(4096 * 8)
+    yield r
+    r.close(unlink=True)
+
+
+class TestRoundTrip:
+    @PROPERTY
+    @given(emission_batch())
+    def test_shm_equals_pickled(self, batch):
+        """Bit-equality of the two descriptor forms on random batches —
+        the transport-preserves-parity clause at the byte level."""
+        ring = ShmRing(64 * 1024)
+        try:
+            widths = widths_of(batch)
+            shm_blob = pack_message_block(ring, batch)
+            raw_blob = pack_message_block(None, batch)
+            assert shm_blob[0] == "shm" and raw_blob[0] == "raw"
+            # copy=True: the decoded arrays must not keep the segment
+            # alive past the close below (the engine's streamed-group
+            # decode does the same)
+            via_shm = unpack_message_block(ring, shm_blob, widths, copy=True)
+            via_raw = unpack_message_block(None, raw_blob, widths)
+            assert_batches_equal(via_shm, batch)
+            assert_batches_equal(via_raw, batch)
+            # the shape contract: width-1 columns decode 1-D, wider 2-D
+            assert [a.ndim for a in via_shm] == [
+                1 if w == 1 else 2 for w in widths
+            ]
+        finally:
+            ring.close(unlink=True)
+
+    @PROPERTY
+    @given(st.lists(emission_batch(max_rows=20), min_size=1, max_size=8))
+    def test_sequential_batches_round_trip(self, batches):
+        """Back-to-back packs (the per-superstep lockstep) each decode
+        exactly, including after the ring wraps."""
+        ring = ShmRing(256 * 8)  # small: forces frequent wraparound
+        try:
+            for batch in batches:
+                blob = pack_message_block(ring, batch)
+                got = unpack_message_block(
+                    ring, blob, widths_of(batch), copy=True
+                )
+                assert_batches_equal(got, batch)
+        finally:
+            ring.close(unlink=True)
+
+
+class TestWraparound:
+    def test_head_rewinds_to_zero(self, ring):
+        """A block that would run past the end restarts at offset 0 —
+        never a partial straddling write."""
+        a = np.arange(ring.nslots - 3, dtype=np.int64)
+        first = pack_message_block(ring, [a])
+        assert first[:2] == ("shm", 0)
+        b = np.asarray([7, 8, 9, 10], dtype=np.int64)
+        second = pack_message_block(ring, [b])
+        assert second[:2] == ("shm", 0)  # wrapped, not offset len(a)
+        assert np.array_equal(
+            unpack_message_block(ring, second, (1,))[0], b
+        )
+
+    def test_oversized_block_falls_back_to_raw(self, ring):
+        a = np.arange(ring.nslots + 1, dtype=np.int64)
+        blob = pack_message_block(ring, [a])
+        assert blob[0] == "raw"
+        assert np.array_equal(unpack_message_block(ring, blob, (1,))[0], a)
+
+    def test_no_wrap_refuses_overflow(self, ring):
+        """``wrap=False`` (multi-block streamed replies) never rewinds
+        over a live block: the overflowing pack degrades to raw."""
+        a = np.arange(ring.nslots - 2, dtype=np.int64)
+        assert pack_message_block(ring, [a], wrap=False)[0] == "shm"
+        b = np.arange(8, dtype=np.int64)
+        blob = pack_message_block(ring, [b], wrap=False)
+        assert blob[0] == "raw"
+        assert np.array_equal(unpack_message_block(ring, blob, (1,))[0], b)
+        # the first block is still intact at its original offset
+        assert np.array_equal(ring.view(0, a.size, 1).ravel(), a)
+
+
+class TestDescriptorOrdering:
+    @PROPERTY
+    @given(
+        st.lists(emission_batch(max_rows=12), min_size=2, max_size=6),
+        st.randoms(use_true_random=False),
+    )
+    def test_out_of_order_decode(self, batches, rnd):
+        """A streamed multi-block reply (one descriptor per coalesced
+        superstep, ``wrap=False`` after a rewind) decodes correctly in
+        *any* completion order — descriptors are self-describing, so
+        nothing depends on reading them head-first."""
+        ring = ShmRing(64 * 1024)
+        try:
+            ring.rewind()
+            blobs = [
+                pack_message_block(ring, batch, wrap=False)
+                for batch in batches
+            ]
+            order = list(range(len(batches)))
+            rnd.shuffle(order)
+            for i in order:
+                got = unpack_message_block(
+                    ring, blobs[i], widths_of(batches[i]), copy=True
+                )
+                assert_batches_equal(got, batches[i])
+        finally:
+            ring.close(unlink=True)
+
+    def test_copy_survives_overwrite(self, ring):
+        """``copy=True`` detaches the arrays from the ring: a later pack
+        over the same slots must not mutate them (the streamed-group
+        decode contract); an uncopied view *does* alias by design."""
+        a = np.asarray([1, 2, 3], dtype=np.int64)
+        blob = pack_message_block(ring, [a])
+        view = unpack_message_block(ring, blob, (1,))[0]
+        copied = unpack_message_block(ring, blob, (1,), copy=True)[0]
+        ring.rewind()
+        pack_message_block(ring, [np.asarray([9, 9, 9], dtype=np.int64)])
+        assert np.array_equal(copied, a)
+        aliased = view.tolist()
+        del view  # release the buffer export before the ring closes
+        assert aliased == [9, 9, 9]
+
+
+class TestRingLifecycle:
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ShmRing(7)
+
+    def test_close_is_idempotent_and_releases(self):
+        ring = ShmRing(1024)
+        name = ring._shm.name
+        ring.close(unlink=True)
+        ring.close(unlink=True)  # second close: no-op, no raise
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_closed_ring_packs_raw(self):
+        ring = ShmRing(1024)
+        ring.close(unlink=True)
+        a = np.arange(4, dtype=np.int64)
+        blob = pack_message_block(ring, [a])
+        assert blob[0] == "raw"
+        assert np.array_equal(unpack_message_block(None, blob, (1,))[0], a)
